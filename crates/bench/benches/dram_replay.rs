@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the cycle-level DRAM simulator itself
+//! (host cycles per simulated request).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tensordimm_dram::{DramConfig, MemorySystem, Trace, TraceRunner};
+
+const REQUESTS: u64 = 4096;
+
+fn traces() -> (Trace, Trace) {
+    let mut seq = Trace::new();
+    seq.read_range(0, REQUESTS * 64);
+    let mut rnd = Trace::new();
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let cap = DramConfig::ddr4_3200_channel().capacity_bytes();
+    for _ in 0..REQUESTS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        rnd.read((x % cap) & !63);
+    }
+    (seq, rnd)
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let (seq, rnd) = traces();
+    let mut group = c.benchmark_group("dram_replay");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(REQUESTS));
+    group.bench_function("sequential_4k_reads", |b| {
+        b.iter(|| {
+            let mem = MemorySystem::new(DramConfig::ddr4_3200_channel())
+                .expect("valid config");
+            TraceRunner::new(mem).run(&seq).expect("in range")
+        })
+    });
+    group.bench_function("random_4k_reads", |b| {
+        b.iter(|| {
+            let mem = MemorySystem::new(DramConfig::ddr4_3200_channel())
+                .expect("valid config");
+            TraceRunner::new(mem).run(&rnd).expect("in range")
+        })
+    });
+    group.bench_function("eight_channel_sequential", |b| {
+        b.iter(|| {
+            let mem = MemorySystem::new(DramConfig::cpu_memory(8)).expect("valid config");
+            TraceRunner::new(mem).run(&seq).expect("in range")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

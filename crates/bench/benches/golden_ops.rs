@@ -1,0 +1,31 @@
+//! Criterion micro-benchmarks for the golden (reference) tensor ops.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tensordimm_embedding::{ops, Distribution, EmbeddingTable, IndexStream};
+use tensordimm_isa::ReduceOp;
+
+const DIM: usize = 512;
+const BATCH: usize = 256;
+
+fn bench_golden(c: &mut Criterion) {
+    let table = EmbeddingTable::seeded("bench", 100_000, DIM, 1);
+    let mut stream = IndexStream::new(Distribution::Zipfian { s: 0.9 }, table.rows(), 2);
+    let indices = stream.batch(BATCH);
+    let gathered = ops::gather(&table, &indices).expect("indices in range");
+
+    let mut group = c.benchmark_group("golden_ops");
+    group.throughput(Throughput::Bytes((BATCH * DIM * 4) as u64));
+    group.bench_function("gather_256x512", |b| {
+        b.iter(|| ops::gather(black_box(&table), black_box(&indices)))
+    });
+    group.bench_function("reduce_add_256x512", |b| {
+        b.iter(|| ops::reduce(black_box(&gathered), black_box(&gathered), ReduceOp::Add))
+    });
+    group.bench_function("average_g8_256x512", |b| {
+        b.iter(|| ops::average(black_box(&gathered), 8, DIM))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_golden);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmarks for the functional MLP (the cuDNN/MKL substitute).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tensordimm_models::{Mlp, MlpSpec, Workload};
+
+fn bench_mlp(c: &mut Criterion) {
+    let ncf = Workload::ncf();
+    let mlp = Mlp::seeded(ncf.mlp.clone(), 11);
+    let input = vec![0.1f32; ncf.mlp.input_dim()];
+    let batch: Vec<f32> = input
+        .iter()
+        .cycle()
+        .take(ncf.mlp.input_dim() * 16)
+        .copied()
+        .collect();
+
+    let mut group = c.benchmark_group("mlp_forward");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("ncf_single", |b| {
+        b.iter(|| mlp.forward(black_box(&input)).expect("shape matches"))
+    });
+    group.throughput(Throughput::Elements(16));
+    group.bench_function("ncf_batch16", |b| {
+        b.iter(|| mlp.forward_batch(black_box(&batch)).expect("shape matches"))
+    });
+    let tiny = Mlp::seeded(MlpSpec::new(vec![64, 32, 1]).expect("valid"), 3);
+    let tiny_in = vec![0.5f32; 64];
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("tiny_64x32x1", |b| {
+        b.iter(|| tiny.forward(black_box(&tiny_in)).expect("shape matches"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mlp);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmarks for TensorNode operations (functional runtime path:
+//! encode -> decode -> broadcast execute).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tensordimm_core::{TensorNode, TensorNodeConfig, TimingMode};
+
+const DIM: usize = 512;
+const BATCH: usize = 128;
+
+fn fresh_node() -> TensorNode {
+    let cfg = TensorNodeConfig::paper()
+        .with_timing(TimingMode::Functional)
+        .with_pool_blocks(1 << 20);
+    let mut node = TensorNode::new(cfg).expect("paper config is valid");
+    let table = node.create_table("bench", 4096, DIM).expect("fits pool");
+    node.fill_table(&table, |r, c| (r + c as u64) as f32)
+        .expect("valid handle");
+    node
+}
+
+fn bench_node(c: &mut Criterion) {
+    let indices: Vec<u64> = (0..BATCH as u64).map(|i| (i * 31) % 4096).collect();
+
+    let mut group = c.benchmark_group("node_ops");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes((BATCH * DIM * 4) as u64));
+    group.bench_function("gather_128x512_functional", |b| {
+        b.iter_batched(
+            fresh_node,
+            |mut node| {
+                let table = tensordimm_core::TableHandle::clone(
+                    &node_table(&node),
+                );
+                node.gather(black_box(&table), black_box(&indices))
+                    .expect("indices in range")
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("gather_then_average_g8", |b| {
+        b.iter_batched(
+            fresh_node,
+            |mut node| {
+                let table = node_table(&node);
+                let g = node.gather(&table, &indices).expect("in range");
+                node.average(&g, 8).expect("divisible")
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+// Reconstruct the table handle of the benchmark node (tables are created
+// deterministically in `fresh_node`).
+fn node_table(node: &TensorNode) -> tensordimm_core::TableHandle {
+    let mut probe = TensorNode::new(node.config().clone()).expect("same config");
+    probe.create_table("bench", 4096, DIM).expect("same layout")
+}
+
+criterion_group!(benches, bench_node);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the end-to-end system model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tensordimm_models::Workload;
+use tensordimm_system::{DesignPoint, SystemModel};
+
+fn bench_system(c: &mut Criterion) {
+    let model = SystemModel::paper_defaults();
+    let w = Workload::facebook();
+    // Prime the memoized cache-hierarchy simulation so the benchmark
+    // measures the analytic path.
+    let _ = model.evaluate(&w, 64, DesignPoint::CpuOnly);
+
+    let mut group = c.benchmark_group("system_eval");
+    group.bench_function("evaluate_all_designs_b64", |b| {
+        b.iter(|| {
+            DesignPoint::all()
+                .iter()
+                .map(|&d| model.evaluate(black_box(&w), 64, d).total_us())
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("normalized_tdimm_b64", |b| {
+        b.iter(|| model.normalized(black_box(&w), 64, DesignPoint::Tdimm))
+    });
+    group.bench_function("cold_cpu_gather_sim", |b| {
+        b.iter_batched(
+            SystemModel::paper_defaults,
+            |m| m.cpu_gather_gbps(black_box(&w)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

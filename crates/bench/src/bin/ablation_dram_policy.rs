@@ -1,0 +1,54 @@
+//! Ablation: memory-controller scheduling and row policy.
+//!
+//! FR-FCFS with open rows is what both the baseline CPU controller and the
+//! NMP-local controller assume; this quantifies how much each choice
+//! contributes on streaming vs random-gather traffic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensordimm_dram::{DramConfig, MemorySystem, RowPolicy, SchedulerKind, Trace, TraceRunner};
+
+fn stream_trace() -> Trace {
+    let mut t = Trace::new();
+    t.read_range(0, 64 * 8192);
+    t
+}
+
+fn random_trace(capacity: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut t = Trace::new();
+    for _ in 0..8192 {
+        t.read(rng.gen_range(0..capacity / 64) * 64);
+    }
+    t
+}
+
+fn run(cfg: DramConfig, trace: &Trace) -> f64 {
+    let mut runner = TraceRunner::new(MemorySystem::new(cfg).expect("valid config"));
+    runner.run(trace).expect("in-range trace").achieved_gbps()
+}
+
+fn main() {
+    println!("Ablation: scheduler x row policy on one DDR4-3200 channel (GB/s)");
+    println!();
+    println!(
+        "{:>9} {:>12} | {:>12} {:>14}",
+        "scheduler", "row policy", "stream", "random 64B"
+    );
+    for (sched, sname) in [(SchedulerKind::FrFcfs, "FR-FCFS"), (SchedulerKind::Fcfs, "FCFS")] {
+        for (policy, pname) in [(RowPolicy::OpenPage, "open"), (RowPolicy::ClosedPage, "closed")] {
+            let cfg = DramConfig::ddr4_3200_channel()
+                .with_scheduler(sched)
+                .with_row_policy(policy);
+            let capacity = cfg.capacity_bytes();
+            let s = run(cfg.clone(), &stream_trace());
+            let r = run(cfg, &random_trace(capacity));
+            println!("{sname:>9} {pname:>12} | {s:>12.1} {r:>14.1}");
+        }
+    }
+    println!();
+    println!(
+        "Open-page + FR-FCFS wins on streams (row hits + reordering); \
+         closed-page narrows the gap only for fully random traffic."
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 4: baseline CPU-only and hybrid CPU-GPU performance, normalized
+//! to the unbuildable GPU-only oracle, across batch sizes and workloads.
+
+use tensordimm_models::Workload;
+use tensordimm_system::{geometric_mean, DesignPoint, SystemModel};
+
+fn main() {
+    let model = SystemModel::paper_defaults();
+    let batches = [1usize, 8, 64, 128];
+
+    println!("Figure 4: performance normalized to GPU-only (1.0 = oracle)");
+    println!("============================================================");
+    println!(
+        "{:>10} {:>6} | {:>9} {:>9} {:>9}",
+        "workload", "batch", "CPU-only", "CPU-GPU", "GPU-only"
+    );
+    let mut cpu_norm = Vec::new();
+    let mut hybrid_norm = Vec::new();
+    for w in Workload::all() {
+        for &b in &batches {
+            let cpu = model.normalized(&w, b, DesignPoint::CpuOnly);
+            let hybrid = model.normalized(&w, b, DesignPoint::CpuGpu);
+            println!(
+                "{:>10} {:>6} | {:>9.3} {:>9.3} {:>9.3}",
+                w.name.to_string(),
+                b,
+                cpu,
+                hybrid,
+                1.0
+            );
+            cpu_norm.push(cpu);
+            hybrid_norm.push(hybrid);
+        }
+        println!();
+    }
+    let g_cpu = geometric_mean(&cpu_norm);
+    let g_hybrid = geometric_mean(&hybrid_norm);
+    println!(
+        "{:>10} {:>6} | {:>9.3} {:>9.3} {:>9.3}",
+        "Average", "-", g_cpu, g_hybrid, 1.0
+    );
+    println!();
+    println!(
+        "Slowdown vs oracle: CPU-only {:.1}x, CPU-GPU {:.1}x \
+         (paper reports an average 7.3-20.9x band across settings)",
+        1.0 / g_cpu,
+        1.0 / g_hybrid
+    );
+    // The low-batch crossover the paper calls out.
+    let w = Workload::ncf();
+    let c1 = model.normalized(&w, 1, DesignPoint::CpuOnly);
+    let h1 = model.normalized(&w, 1, DesignPoint::CpuGpu);
+    println!(
+        "Low-batch crossover (NCF, batch 1): CPU-only {:.3} vs CPU-GPU {:.3} -> {}",
+        c1,
+        h1,
+        if c1 > h1 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 11: memory bandwidth utilization of the three tensor operations,
+//! TensorNode (32 TensorDIMMs, 819.2 GB/s peak) vs the conventional CPU
+//! memory system (8 channels / 32 DIMMs, 204.8 GB/s peak), swept over
+//! batch size.
+//!
+//! Methodology matches Section 5: op traces into the cycle-level DRAM
+//! simulator. Lookups per sample follow the YouTube/Fox pooling factor
+//! (50), embedding dimension 512 (2 KiB vectors).
+
+use tensordimm_bench::traffic::{cpu_gbps, tensornode_gbps, OpExperiment, OpKind};
+
+const LOOKUPS_PER_SAMPLE: u64 = 50;
+const VEC_BLOCKS: u64 = 32; // dim 512
+const TABLE_ROWS: u64 = 5_000_000;
+const DIMMS: u64 = 32;
+
+fn experiment(op: OpKind, batch: u64) -> OpExperiment {
+    OpExperiment {
+        op,
+        count: batch * LOOKUPS_PER_SAMPLE,
+        vec_blocks: VEC_BLOCKS,
+        table_rows: TABLE_ROWS,
+        seed: 0xf1611,
+    }
+}
+
+fn main() {
+    let batches = [2u64, 4, 8, 16, 32, 64, 96, 128];
+    let ops = [
+        OpKind::Gather,
+        OpKind::Reduce,
+        OpKind::Average {
+            group: LOOKUPS_PER_SAMPLE,
+        },
+    ];
+
+    println!("Figure 11: bandwidth utilization (GB/s) vs batch size");
+    println!("TensorNode: 32 TensorDIMMs (819.2 peak); CPU: 8 channels (204.8 peak)");
+    println!();
+    println!(
+        "{:>6} | {:>13} {:>13} {:>13} | {:>11} {:>11} {:>11}",
+        "batch",
+        "GATHER(TDIMM)",
+        "REDUCE(TDIMM)",
+        "AVG(TDIMM)",
+        "GATHER(CPU)",
+        "REDUCE(CPU)",
+        "AVG(CPU)"
+    );
+    let mut max_node: f64 = 0.0;
+    let mut max_cpu: f64 = 0.0;
+    for &batch in &batches {
+        let node: Vec<f64> = ops
+            .iter()
+            .map(|&op| tensornode_gbps(&experiment(op, batch), DIMMS))
+            .collect();
+        let cpu: Vec<f64> = ops
+            .iter()
+            .map(|&op| cpu_gbps(&experiment(op, batch), 8, 4))
+            .collect();
+        println!(
+            "{:>6} | {:>13.0} {:>13.0} {:>13.0} | {:>11.0} {:>11.0} {:>11.0}",
+            batch, node[0], node[1], node[2], cpu[0], cpu[1], cpu[2]
+        );
+        for v in &node {
+            max_node = max_node.max(*v);
+        }
+        for v in &cpu {
+            max_cpu = max_cpu.max(*v);
+        }
+    }
+    println!();
+    println!(
+        "max TensorNode {max_node:.0} GB/s vs max CPU {max_cpu:.0} GB/s -> {:.1}x \
+         (paper: ~808 vs ~192 GB/s, ~4x)",
+        max_node / max_cpu
+    );
+}

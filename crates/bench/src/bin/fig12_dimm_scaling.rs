@@ -1,0 +1,72 @@
+//! Figure 12: memory throughput as a function of DIMM count, with
+//! embedding sizes scaled up 2-4x (which is what forces the extra DIMMs
+//! to be provisioned in the first place).
+//!
+//! CPU memory saturates at its fixed channel bandwidth no matter how many
+//! DIMMs are installed; the TensorNode's aggregate bandwidth scales with
+//! the DIMM count.
+
+use tensordimm_bench::traffic::{cpu_gbps, tensornode_gbps, OpExperiment, OpKind};
+
+const BATCH: u64 = 64;
+const LOOKUPS_PER_SAMPLE: u64 = 50;
+const TABLE_ROWS: u64 = 1_000_000;
+
+fn main() {
+    // (DIMM count, embedding scale): 32 DIMMs at 1x, 64 at 2x, 128 at 4x,
+    // mirroring the paper's "more capacity needs more DIMMs" sweep.
+    let configs = [(32u64, 1u64), (64, 2), (128, 4)];
+    let ops = [
+        OpKind::Gather,
+        OpKind::Reduce,
+        OpKind::Average {
+            group: LOOKUPS_PER_SAMPLE,
+        },
+    ];
+
+    println!("Figure 12: throughput (GB/s) vs number of DIMMs");
+    println!();
+    println!(
+        "{:>6} {:>9} | {:>13} {:>13} {:>13} | {:>11} {:>11} {:>11}",
+        "DIMMs",
+        "emb size",
+        "GATHER(node)",
+        "REDUCE(node)",
+        "AVG(node)",
+        "GATHER(CPU)",
+        "REDUCE(CPU)",
+        "AVG(CPU)"
+    );
+    let mut node_max: f64 = 0.0;
+    let mut cpu_max: f64 = 0.0;
+    for &(dimms, scale) in &configs {
+        let vec_blocks = 32 * scale; // dim 512 x scale
+        let exp = |op| OpExperiment {
+            op,
+            count: BATCH * LOOKUPS_PER_SAMPLE,
+            vec_blocks,
+            table_rows: TABLE_ROWS,
+            seed: 0xf1202,
+        };
+        let node: Vec<f64> = ops.iter().map(|&op| tensornode_gbps(&exp(op), dimms)).collect();
+        // The same DIMMs hanging off the fixed 8 CPU channels.
+        let ranks_per_channel = (dimms / 8).max(1) as usize;
+        let cpu: Vec<f64> = ops
+            .iter()
+            .map(|&op| cpu_gbps(&exp(op), 8, ranks_per_channel))
+            .collect();
+        println!(
+            "{:>6} {:>8}x | {:>13.0} {:>13.0} {:>13.0} | {:>11.0} {:>11.0} {:>11.0}",
+            dimms, scale, node[0], node[1], node[2], cpu[0], cpu[1], cpu[2]
+        );
+        node_max = node_max.max(node.iter().cloned().fold(0.0, f64::max));
+        cpu_max = cpu_max.max(cpu.iter().cloned().fold(0.0, f64::max));
+    }
+    println!();
+    println!(
+        "TensorNode scales to {:.1} TB/s while CPU saturates near {:.0} GB/s \
+         (paper: up to ~3.1 TB/s vs ~200 GB/s)",
+        node_max / 1e3,
+        cpu_max
+    );
+}

@@ -1,0 +1,71 @@
+//! Figure 14: performance of the five design points normalized to the
+//! GPU-only oracle, across batch sizes 8/64/128 and all four workloads,
+//! plus the geometric mean.
+
+use tensordimm_models::Workload;
+use tensordimm_system::{geometric_mean, normalized_performance, DesignPoint, SystemModel};
+
+fn main() {
+    let model = SystemModel::paper_defaults();
+    let batches = [8usize, 64, 128];
+    let points = normalized_performance(&model, &Workload::all(), &batches);
+
+    println!("Figure 14: performance normalized to GPU-only (1.0 = oracle)");
+    println!();
+    println!(
+        "{:>10} {:>6} | {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "batch", "CPU-only", "CPU-GPU", "PMEM", "TDIMM", "GPU-only"
+    );
+    for w in Workload::all() {
+        for &b in &batches {
+            let row: Vec<f64> = DesignPoint::all()
+                .iter()
+                .map(|&d| {
+                    points
+                        .iter()
+                        .find(|p| p.workload == w.name.to_string() && p.batch == b && p.design == d)
+                        .expect("grid point evaluated")
+                        .normalized
+                })
+                .collect();
+            println!(
+                "{:>10} {:>6} | {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                w.name.to_string(),
+                b,
+                row[0],
+                row[1],
+                row[2],
+                row[3],
+                row[4]
+            );
+        }
+    }
+    println!();
+    print!("{:>10} {:>6} |", "Geomean", "-");
+    let mut tdimm_frac = 0.0;
+    for d in DesignPoint::all() {
+        let vals: Vec<f64> = points
+            .iter()
+            .filter(|p| p.design == d)
+            .map(|p| p.normalized)
+            .collect();
+        let g = geometric_mean(&vals);
+        if d == DesignPoint::Tdimm {
+            tdimm_frac = g;
+        }
+        print!(" {g:>9.3}");
+    }
+    println!();
+    println!();
+    println!(
+        "TDIMM achieves {:.0}% of the unbuildable oracle on average \
+         (paper: 84%, never below 75%)",
+        100.0 * tdimm_frac
+    );
+    let worst = points
+        .iter()
+        .filter(|p| p.design == DesignPoint::Tdimm)
+        .map(|p| p.normalized)
+        .fold(f64::INFINITY, f64::min);
+    println!("Worst TDIMM point: {:.0}% of oracle", 100.0 * worst);
+}

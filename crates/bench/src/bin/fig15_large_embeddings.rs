@@ -1,0 +1,52 @@
+//! Figure 15: TDIMM speedup over CPU-only and hybrid CPU-GPU with
+//! embeddings scaled 1-8x, batch 8/64/128, averaged (geomean) across the
+//! four workloads.
+
+use tensordimm_models::Workload;
+use tensordimm_system::{speedup_matrix, SystemModel};
+
+fn main() {
+    let model = SystemModel::paper_defaults();
+    let scales = [1usize, 2, 4, 8];
+    let batches = [8usize, 64, 128];
+    let rows = speedup_matrix(&model, &Workload::all(), &scales, &batches);
+
+    println!("Figure 15: TDIMM speedup with larger embeddings (geomean of 4 workloads)");
+    println!();
+    println!(
+        "{:>9} {:>6} | {:>16} {:>16}",
+        "emb size", "batch", "vs CPU-only (x)", "vs CPU-GPU (x)"
+    );
+    let mut max_speedup: f64 = 0.0;
+    let mut scale_means: Vec<(usize, f64, f64)> = Vec::new();
+    for &scale in &scales {
+        let mut cpu_acc = Vec::new();
+        let mut hyb_acc = Vec::new();
+        for &(s, b, vs_cpu, vs_hybrid) in &rows {
+            if s == scale {
+                println!(
+                    "{:>8}x {:>6} | {:>16.1} {:>16.1}",
+                    s, b, vs_cpu, vs_hybrid
+                );
+                cpu_acc.push(vs_cpu);
+                hyb_acc.push(vs_hybrid);
+                max_speedup = max_speedup.max(vs_cpu).max(vs_hybrid);
+            }
+        }
+        let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+        scale_means.push((scale, gm(&cpu_acc), gm(&hyb_acc)));
+        println!();
+    }
+    println!("Per-scale geomeans:");
+    for (scale, c, h) in &scale_means {
+        println!("  {scale}x: vs CPU-only {c:.1}x, vs CPU-GPU {h:.1}x");
+    }
+    let (_, c1, h1) = scale_means[0];
+    let (_, c8, h8) = scale_means[scale_means.len() - 1];
+    println!();
+    println!(
+        "Range: {c1:.1}-{c8:.1}x vs CPU-only and {h1:.1}-{h8:.1}x vs CPU-GPU; \
+         max single point {max_speedup:.0}x \
+         (paper: 6.2-15.0x, 8.9-17.6x, max ~35x)"
+    );
+}

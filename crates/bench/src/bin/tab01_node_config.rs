@@ -1,0 +1,38 @@
+//! Table 1: the baseline TensorNode configuration.
+
+use tensordimm_core::TensorNodeConfig;
+
+fn main() {
+    let cfg = TensorNodeConfig::paper();
+    println!("Table 1: Baseline TensorNode configuration");
+    println!("==========================================");
+    println!(
+        "{:<44} DDR4 (PC4-25600)",
+        "DRAM specification"
+    );
+    println!("{:<44} {}", "Number of TensorDIMMs", cfg.dimms);
+    println!(
+        "{:<44} {:.1} GB/sec",
+        "Memory bandwidth per TensorDIMM",
+        cfg.nmp.dram.peak_gbps()
+    );
+    println!(
+        "{:<44} {:.1} GB/sec",
+        "Memory bandwidth across TensorNode",
+        cfg.peak_gbps()
+    );
+    println!();
+    println!("Derived NMP-core parameters (Section 4.2):");
+    println!(
+        "{:<44} {}-wide @ {} MHz",
+        "Vector ALU", cfg.nmp.alu_lanes, cfg.nmp.alu_clock_mhz
+    );
+    println!(
+        "{:<44} {} B each (A, B, C)",
+        "SRAM queues", cfg.nmp.input_queue_bytes
+    );
+    println!(
+        "{:<44} {} entries",
+        "Queue capacity", cfg.nmp.input_queue_entries()
+    );
+}

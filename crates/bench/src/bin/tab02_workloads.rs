@@ -1,0 +1,41 @@
+//! Table 2: evaluated benchmarks and default configuration.
+
+use tensordimm_bench::table;
+use tensordimm_models::Workload;
+
+fn main() {
+    println!("Table 2: Evaluated benchmarks and default configuration");
+    println!("=======================================================");
+    table::header(&[
+        ("Network", 10),
+        ("Lookup tables", 14),
+        ("Max reduction", 14),
+        ("FC/MLP layers", 14),
+        ("Emb. dim", 9),
+        ("Tables (GB)", 12),
+    ]);
+    for w in Workload::all() {
+        println!(
+            "{:>10}  {:>14}  {:>14}  {:>14}  {:>9}  {:>12}",
+            w.name.to_string(),
+            w.tables,
+            w.lookups_per_table,
+            w.mlp.layers(),
+            w.embedding_dim,
+            table::num(w.table_footprint_bytes() as f64 / 1e9),
+        );
+    }
+    println!();
+    println!("Default batch size 64 (sweeps use 1-128); 5M rows per table.");
+    println!("Per-inference embedding traffic at batch 64:");
+    table::header(&[("Network", 10), ("Gathered (MB)", 14), ("Pooled (MB)", 12), ("Reduction", 10)]);
+    for w in Workload::all() {
+        println!(
+            "{:>10}  {:>14}  {:>12}  {:>9}x",
+            w.name.to_string(),
+            table::num(w.gathered_bytes(64) as f64 / 1e6),
+            table::num(w.pooled_bytes(64) as f64 / 1e6),
+            w.reduction_factor(),
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Table 3 and Section 6.5: NMP-core implementation overheads and power.
+
+use tensordimm_nmp::{DimmPowerModel, FpgaUtilization, SramSizing};
+
+fn main() {
+    println!("Table 3: FPGA utilization of a single NMP core (VCU1525, %)");
+    println!("===========================================================");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8}",
+        "Component", "LUT [%]", "FF [%]", "DSP [%]", "BRAM [%]"
+    );
+    for row in FpgaUtilization::table3() {
+        println!(
+            "{:<14} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            row.component, row.lut, row.ff, row.dsp, row.bram
+        );
+    }
+
+    println!();
+    println!("SRAM sizing (Section 4.2, bandwidth-delay product):");
+    let sizing = SramSizing::paper();
+    println!(
+        "  {:.1} GB/s x {:.0} ns = {:.0} B per queue ({:.1} KB total for A/B/C)",
+        sizing.bandwidth_gbps,
+        sizing.latency_ns,
+        sizing.queue_bytes(),
+        sizing.total_bytes() / 1024.0
+    );
+
+    println!();
+    println!("System power (Section 6.5, Micron DDR4 power-calculator point):");
+    let power = DimmPowerModel::paper();
+    for dimms in [32usize, 64] {
+        println!(
+            "  {:>3} TensorDIMMs ({} GiB): {:>5.0} W  (fits 350-700 W OAM envelope: {})",
+            dimms,
+            power.node_capacity_gib(dimms),
+            power.node_watts(dimms),
+            if power.fits_oam_envelope(dimms) { "yes" } else { "no" }
+        );
+    }
+}

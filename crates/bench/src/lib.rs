@@ -1,0 +1,13 @@
+//! Benchmark harness for the TensorDIMM reproduction.
+//!
+//! This crate carries no library logic of its own; it hosts
+//!
+//! * one binary per table/figure of the paper (`src/bin/fig*.rs`,
+//!   `src/bin/tab*.rs`) — run them with
+//!   `cargo run --release -p tensordimm-bench --bin <name>`,
+//! * Criterion micro-benchmarks (`benches/`) over the functional kernels,
+//!   the DRAM simulator and the end-to-end system model,
+//! * shared output helpers in [`table`].
+
+pub mod table;
+pub mod traffic;

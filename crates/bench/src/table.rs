@@ -1,0 +1,37 @@
+//! Minimal fixed-width table printing for the figure binaries.
+
+/// Print a header row followed by a rule.
+pub fn header(columns: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, width) in columns {
+        line.push_str(&format!("{name:>width$}  "));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(120)));
+}
+
+/// Format a float with engineering-friendly precision.
+pub fn num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_precision() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(12345.6), "12346");
+        assert_eq!(num(42.42), "42.4");
+        assert_eq!(num(1.234), "1.23");
+    }
+}

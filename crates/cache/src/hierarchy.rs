@@ -1,0 +1,241 @@
+//! A three-level cache hierarchy.
+
+use crate::set_cache::Cache;
+use crate::CacheError;
+
+/// Geometry of a three-level hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache capacity in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 capacity in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Last-level cache capacity in bytes (aggregate share visible to the
+    /// gather thread).
+    pub llc_bytes: usize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+}
+
+impl HierarchyConfig {
+    /// A Skylake-SP-like core's view: 32 KiB L1d / 1 MiB L2 / 1.375 MiB of
+    /// LLC per core scaled to a 28-core die share of ~38.5 MiB — we model
+    /// the share a gather kernel's threads effectively use (16 MiB).
+    pub fn xeon_like() -> Self {
+        HierarchyConfig {
+            l1_bytes: 32 << 10,
+            l1_ways: 8,
+            l2_bytes: 1 << 20,
+            l2_ways: 16,
+            llc_bytes: 16 << 20,
+            llc_ways: 16,
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig::xeon_like()
+    }
+}
+
+/// Per-level hit/miss counts after a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LevelStats {
+    /// Hits at this level.
+    pub hits: u64,
+    /// Misses at this level (passed to the next level or memory).
+    pub misses: u64,
+}
+
+impl LevelStats {
+    /// Hit rate at this level in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// L1 → L2 → LLC in lookup order; misses at each level probe the next.
+///
+/// # Example
+///
+/// ```
+/// use tensordimm_cache::{Hierarchy, HierarchyConfig};
+///
+/// let mut h = Hierarchy::new(HierarchyConfig::xeon_like())?;
+/// h.access(0);
+/// h.access(0);
+/// assert_eq!(h.l1().hits, 1);
+/// assert_eq!(h.memory_accesses(), 1);
+/// # Ok::<(), tensordimm_cache::CacheError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    llc: Cache,
+    l1_stats: LevelStats,
+    l2_stats: LevelStats,
+    llc_stats: LevelStats,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheError::InvalidGeometry`] from any level.
+    pub fn new(config: HierarchyConfig) -> Result<Self, CacheError> {
+        Ok(Hierarchy {
+            l1: Cache::new(config.l1_bytes, config.l1_ways)?,
+            l2: Cache::new(config.l2_bytes, config.l2_ways)?,
+            llc: Cache::new(config.llc_bytes, config.llc_ways)?,
+            l1_stats: LevelStats::default(),
+            l2_stats: LevelStats::default(),
+            llc_stats: LevelStats::default(),
+        })
+    }
+
+    /// Access one address; returns the level that hit (1, 2, 3) or 0 for
+    /// memory.
+    pub fn access(&mut self, addr: u64) -> u8 {
+        if self.l1.access(addr) {
+            self.l1_stats.hits += 1;
+            return 1;
+        }
+        self.l1_stats.misses += 1;
+        if self.l2.access(addr) {
+            self.l2_stats.hits += 1;
+            return 2;
+        }
+        self.l2_stats.misses += 1;
+        if self.llc.access(addr) {
+            self.llc_stats.hits += 1;
+            return 3;
+        }
+        self.llc_stats.misses += 1;
+        0
+    }
+
+    /// L1 statistics.
+    pub fn l1(&self) -> LevelStats {
+        self.l1_stats
+    }
+
+    /// L2 statistics.
+    pub fn l2(&self) -> LevelStats {
+        self.l2_stats
+    }
+
+    /// LLC statistics.
+    pub fn llc(&self) -> LevelStats {
+        self.llc_stats
+    }
+
+    /// Accesses that reached DRAM.
+    pub fn memory_accesses(&self) -> u64 {
+        self.llc_stats.misses
+    }
+
+    /// Total accesses observed.
+    pub fn total_accesses(&self) -> u64 {
+        self.l1_stats.hits + self.l1_stats.misses
+    }
+
+    /// Fraction of accesses that reached DRAM.
+    pub fn memory_access_rate(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.memory_accesses() as f64 / total as f64
+        }
+    }
+
+    /// Clear contents and statistics.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.llc.reset();
+        self.reset_stats();
+    }
+
+    /// Clear statistics but keep contents (post-warmup measurement).
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.llc.reset_stats();
+        self.l1_stats = LevelStats::default();
+        self.l2_stats = LevelStats::default();
+        self.llc_stats = LevelStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig {
+            l1_bytes: 4 * 64,
+            l1_ways: 2,
+            l2_bytes: 16 * 64,
+            l2_ways: 4,
+            llc_bytes: 64 * 64,
+            llc_ways: 8,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn levels_fill_in_order() {
+        let mut h = small();
+        assert_eq!(h.access(0), 0); // cold: memory
+        assert_eq!(h.access(0), 1); // L1 hit
+        // Evict line 0 from tiny L1 with conflicting lines (same set).
+        h.access(4 * 64 * 64);
+        h.access(8 * 64 * 64);
+        // Line 0 fell out of L1 but sits in L2.
+        assert_eq!(h.access(0), 2);
+    }
+
+    #[test]
+    fn memory_rate_for_streaming() {
+        let mut h = small();
+        for i in 0..10_000u64 {
+            h.access(i * 64);
+        }
+        assert!(h.memory_access_rate() > 0.95);
+        assert_eq!(h.total_accesses(), 10_000);
+    }
+
+    #[test]
+    fn resident_set_stays_cached() {
+        let mut h = Hierarchy::new(HierarchyConfig::xeon_like()).unwrap();
+        for _ in 0..3 {
+            for i in 0..100u64 {
+                h.access(i * 64);
+            }
+        }
+        // After warmup, 200 of 300 rounds hit somewhere.
+        assert!(h.memory_accesses() <= 100);
+    }
+
+    #[test]
+    fn reset() {
+        let mut h = small();
+        h.access(0);
+        h.reset();
+        assert_eq!(h.total_accesses(), 0);
+        assert_eq!(h.access(0), 0);
+    }
+}

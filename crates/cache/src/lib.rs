@@ -1,0 +1,90 @@
+//! CPU cache-hierarchy simulator for the baseline design points.
+//!
+//! The paper's baselines read embeddings through a Xeon's cache hierarchy.
+//! Gupta et al. (reference 24 of the paper, Section 7) measured that the
+//! sparse, irregular accesses of embedding gathers hit so rarely that CPUs
+//! realize under 5 % of their DRAM bandwidth. This crate reproduces that
+//! effect from first principles:
+//!
+//! * [`Cache`] — a set-associative, LRU, 64-byte-line cache model,
+//! * [`Hierarchy`] — L1/L2/LLC in inclusive composition with a Xeon-like
+//!   default geometry,
+//! * [`GatherModel`] — runs a synthetic gather index stream through the
+//!   hierarchy and converts miss rates plus MSHR-limited memory-level
+//!   parallelism into an *effective gather bandwidth*, the number the
+//!   end-to-end system model uses for CPU-resident embedding lookups.
+//!
+//! # Example
+//!
+//! ```
+//! use tensordimm_cache::{GatherModel, GatherWorkload};
+//!
+//! let model = GatherModel::xeon_like();
+//! let hot = model.effective_bandwidth_gbps(&GatherWorkload {
+//!     table_bytes: 1 << 20,       // 1 MiB table: cache resident
+//!     embedding_bytes: 2048,
+//!     lookups: 10_000,
+//!     zipf_s: 0.0,
+//!     seed: 1,
+//! });
+//! let cold = model.effective_bandwidth_gbps(&GatherWorkload {
+//!     table_bytes: 64 << 30,      // 64 GiB table: every access misses
+//!     embedding_bytes: 2048,
+//!     lookups: 10_000,
+//!     zipf_s: 0.0,
+//!     seed: 1,
+//! });
+//! assert!(hot > 4.0 * cold, "hot {hot} cold {cold}");
+//! ```
+
+pub mod gather;
+pub mod hierarchy;
+pub mod set_cache;
+
+pub use gather::{GatherModel, GatherReport, GatherWorkload};
+pub use hierarchy::{Hierarchy, HierarchyConfig, LevelStats};
+pub use set_cache::Cache;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the cache substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// A geometry parameter is invalid (zero, or not a power of two where
+    /// required).
+    InvalidGeometry {
+        /// Which parameter.
+        parameter: &'static str,
+        /// The rejected value.
+        value: usize,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::InvalidGeometry { parameter, value } => {
+                write!(f, "cache parameter {parameter} = {value} is invalid")
+            }
+        }
+    }
+}
+
+impl Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(!CacheError::InvalidGeometry {
+            parameter: "ways",
+            value: 0
+        }
+        .to_string()
+        .is_empty());
+    }
+}

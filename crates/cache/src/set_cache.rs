@@ -1,0 +1,210 @@
+//! A set-associative cache with LRU replacement.
+
+use crate::CacheError;
+
+const LINE_BYTES: u64 = 64;
+
+/// A set-associative, write-allocate, 64-byte-line cache.
+///
+/// Stores tags only (data lives elsewhere in the simulation); each set
+/// keeps its ways in LRU order.
+///
+/// # Example
+///
+/// ```
+/// use tensordimm_cache::Cache;
+///
+/// let mut c = Cache::new(32 * 1024, 8)?; // 32 KiB, 8-way (an L1d)
+/// assert!(!c.access(0));      // cold miss
+/// assert!(c.access(0));       // hit
+/// assert!(c.access(32));      // same line
+/// # Ok::<(), tensordimm_cache::CacheError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    /// `sets × ways` tags in LRU order (front = most recent), `u64::MAX`
+    /// marks an empty way.
+    tags: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// A cache of `capacity_bytes` with `ways`-way associativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidGeometry`] when the capacity is not a
+    /// positive multiple of `ways * 64` or the set count is not a power of
+    /// two.
+    pub fn new(capacity_bytes: usize, ways: usize) -> Result<Self, CacheError> {
+        if ways == 0 {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "ways",
+                value: ways,
+            });
+        }
+        let line_ways = ways * LINE_BYTES as usize;
+        if capacity_bytes == 0 || !capacity_bytes.is_multiple_of(line_ways) {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "capacity_bytes",
+                value: capacity_bytes,
+            });
+        }
+        let sets = capacity_bytes / line_ways;
+        if !sets.is_power_of_two() {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "sets",
+                value: sets,
+            });
+        }
+        Ok(Cache {
+            sets,
+            ways,
+            tags: vec![u64::MAX; sets * ways],
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * LINE_BYTES as usize
+    }
+
+    /// Hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Access the line containing `addr`; returns `true` on hit. Misses
+    /// allocate (evicting the set's LRU way).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / LINE_BYTES;
+        let set = (line as usize) & (self.sets - 1);
+        let tag = line;
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            ways[..=pos].rotate_right(1);
+            self.hits += 1;
+            true
+        } else {
+            ways.rotate_right(1);
+            ways[0] = tag;
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Clear contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.reset_stats();
+    }
+
+    /// Clear statistics but keep cache contents (post-warmup measurement).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(Cache::new(0, 8).is_err());
+        assert!(Cache::new(1024, 0).is_err());
+        assert!(Cache::new(1000, 8).is_err());
+        let c = Cache::new(32 * 1024, 8).unwrap();
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.capacity_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2 sets x 2 ways: lines 0, 2, 4 map to set 0.
+        let mut c = Cache::new(4 * 64, 2).unwrap();
+        assert!(!c.access(0));
+        assert!(!c.access(2 * 64));
+        assert!(c.access(0)); // 0 now MRU
+        assert!(!c.access(4 * 64)); // evicts 2 (LRU)
+        assert!(c.access(0));
+        assert!(!c.access(2 * 64)); // 2 was evicted
+    }
+
+    #[test]
+    fn whole_line_hits() {
+        let mut c = Cache::new(64 * 64, 4).unwrap();
+        c.access(128);
+        for off in [0u64, 1, 17, 63] {
+            assert!(c.access(128 + off));
+        }
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 4);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = Cache::new(64 * 64, 4).unwrap();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn working_set_behavior() {
+        // A working set within capacity hits after warmup; beyond capacity
+        // it thrashes.
+        let mut c = Cache::new(1024 * 64, 8).unwrap();
+        for round in 0..2 {
+            for i in 0..512u64 {
+                let hit = c.access(i * 64);
+                if round == 1 {
+                    assert!(hit, "line {i} should be resident");
+                }
+            }
+        }
+        let mut big = Cache::new(1024 * 64, 8).unwrap();
+        let mut second_round_hits = 0;
+        for round in 0..2 {
+            for i in 0..4096u64 {
+                if big.access(i * 64) && round == 1 {
+                    second_round_hits += 1;
+                }
+            }
+        }
+        assert_eq!(second_round_hits, 0, "4x working set must thrash LRU");
+    }
+}

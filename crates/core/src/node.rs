@@ -1,0 +1,808 @@
+//! The TensorNode: a pooled-memory device of cooperating TensorDIMMs.
+
+use tensordimm_interconnect::{Link, TransferReport};
+use tensordimm_isa::{
+    decode, encode, execute_on_node, DimmContext, Instruction, ReduceOp, VecMemory,
+};
+use tensordimm_nmp::{DimmPowerModel, NmpCore};
+
+use crate::alloc::BumpAllocator;
+use crate::config::{TensorNodeConfig, TimingMode};
+use crate::report::OpReport;
+use crate::tensor::{TableHandle, TensorHandle};
+use crate::CoreError;
+
+/// A disaggregated memory node populated with TensorDIMMs (Fig. 6c).
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct TensorNode {
+    config: TensorNodeConfig,
+    pool: VecMemory,
+    allocator: BumpAllocator,
+    representative_dimm: NmpCore,
+    table_names: Vec<(u64, String)>,
+    reports: Vec<OpReport>,
+    next_table_id: u64,
+}
+
+impl TensorNode {
+    /// Build a node, validating the per-DIMM configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Nmp`] for invalid DIMM configurations and
+    /// [`CoreError::Empty`] for a zero-DIMM node.
+    pub fn new(config: TensorNodeConfig) -> Result<Self, CoreError> {
+        if config.dimms == 0 {
+            return Err(CoreError::Empty { what: "dimms" });
+        }
+        let representative_dimm = NmpCore::new(config.nmp.clone())?;
+        Ok(TensorNode {
+            pool: VecMemory::new(config.pool_blocks),
+            allocator: BumpAllocator::new(config.pool_blocks, config.dimms),
+            representative_dimm,
+            table_names: Vec::new(),
+            reports: Vec::new(),
+            next_table_id: 0,
+            config,
+        })
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &TensorNodeConfig {
+        &self.config
+    }
+
+    /// Number of TensorDIMMs.
+    pub fn dimms(&self) -> u64 {
+        self.config.dimms
+    }
+
+    /// Aggregate peak memory bandwidth, GB/s.
+    pub fn peak_gbps(&self) -> f64 {
+        self.config.peak_gbps()
+    }
+
+    /// Node power estimate in watts (Section 6.5's 13 W per LR-DIMM).
+    pub fn power_watts(&self) -> f64 {
+        DimmPowerModel::paper().node_watts(self.config.dimms as usize)
+    }
+
+    /// Pool blocks allocated so far.
+    pub fn used_blocks(&self) -> u64 {
+        self.allocator.used()
+    }
+
+    /// Pool blocks remaining.
+    pub fn available_blocks(&self) -> u64 {
+        self.allocator.available()
+    }
+
+    /// Reports of every operation executed, in order.
+    pub fn reports(&self) -> &[OpReport] {
+        &self.reports
+    }
+
+    /// The most recent operation's report.
+    pub fn last_report(&self) -> Option<&OpReport> {
+        self.reports.last()
+    }
+
+    /// Names and ids of the tables created on this node.
+    pub fn tables(&self) -> &[(u64, String)] {
+        &self.table_names
+    }
+
+    /// Blocks per stored vector for an embedding dimension: the vector's
+    /// 64-byte blocks padded up to a whole stripe over all DIMMs.
+    pub fn vec_blocks_for(&self, dim: usize) -> u64 {
+        let raw = (dim as u64 * 4).div_ceil(64);
+        raw.div_ceil(self.config.dimms) * self.config.dimms
+    }
+
+    /// Allocate an embedding table in the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Empty`] for zero rows/dim; [`CoreError::OutOfMemory`]
+    /// when the pool cannot hold the table.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        rows: u64,
+        dim: usize,
+    ) -> Result<TableHandle, CoreError> {
+        if rows == 0 {
+            return Err(CoreError::Empty { what: "rows" });
+        }
+        if dim == 0 {
+            return Err(CoreError::Empty { what: "dim" });
+        }
+        let vec_blocks = self.vec_blocks_for(dim);
+        let base_block = self.allocator.alloc(rows * vec_blocks)?;
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        self.table_names.push((id, name.to_owned()));
+        Ok(TableHandle {
+            id,
+            base_block,
+            rows,
+            dim,
+            vec_blocks,
+        })
+    }
+
+    /// Fill a table with `f(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid handles; returns `Ok` for symmetry
+    /// with the other mutators.
+    pub fn fill_table(
+        &mut self,
+        table: &TableHandle,
+        f: impl Fn(u64, usize) -> f32,
+    ) -> Result<(), CoreError> {
+        let mut row_buf = vec![0.0f32; table.dim];
+        for r in 0..table.rows {
+            for (c, v) in row_buf.iter_mut().enumerate() {
+                *v = f(r, c);
+            }
+            self.pool
+                .write_f32_slice(table.base_block + r * table.vec_blocks, &row_buf);
+        }
+        Ok(())
+    }
+
+    /// Load a table from a flat row-major slice (`rows × dim`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DataShape`] when the length does not match.
+    pub fn load_table(&mut self, table: &TableHandle, data: &[f32]) -> Result<(), CoreError> {
+        let expected = table.rows as usize * table.dim;
+        if data.len() != expected {
+            return Err(CoreError::DataShape {
+                got: data.len(),
+                expected,
+            });
+        }
+        for (r, row) in data.chunks(table.dim).enumerate() {
+            self.pool
+                .write_f32_slice(table.base_block + r as u64 * table.vec_blocks, row);
+        }
+        Ok(())
+    }
+
+    /// Upload a tensor of `count` vectors of `dim` f32 values.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DataShape`] / [`CoreError::Empty`] /
+    /// [`CoreError::OutOfMemory`] under the obvious conditions.
+    pub fn upload_tensor(
+        &mut self,
+        data: &[f32],
+        count: u64,
+        dim: usize,
+    ) -> Result<TensorHandle, CoreError> {
+        if count == 0 || dim == 0 {
+            return Err(CoreError::Empty { what: "tensor shape" });
+        }
+        if data.len() as u64 != count * dim as u64 {
+            return Err(CoreError::DataShape {
+                got: data.len(),
+                expected: (count * dim as u64) as usize,
+            });
+        }
+        let vec_blocks = self.vec_blocks_for(dim);
+        let base_block = self.allocator.alloc(count * vec_blocks)?;
+        for (i, row) in data.chunks(dim).enumerate() {
+            self.pool
+                .write_f32_slice(base_block + i as u64 * vec_blocks, row);
+        }
+        Ok(TensorHandle {
+            base_block,
+            count,
+            dim,
+            vec_blocks,
+        })
+    }
+
+    /// GATHER: look up `indices` in `table`, producing a tensor of
+    /// `indices.len()` vectors. Broadcasts a TensorISA GATHER to all DIMMs.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Empty`] for no indices, [`CoreError::RowOutOfRange`]
+    /// for a bad index, [`CoreError::OutOfMemory`] when the pool is full.
+    pub fn gather(
+        &mut self,
+        table: &TableHandle,
+        indices: &[u64],
+    ) -> Result<TensorHandle, CoreError> {
+        if indices.is_empty() {
+            return Err(CoreError::Empty { what: "indices" });
+        }
+        for &i in indices {
+            if i >= table.rows {
+                return Err(CoreError::RowOutOfRange {
+                    index: i,
+                    rows: table.rows,
+                });
+            }
+        }
+        // Stage the (replicated) index list into the pool.
+        let idx_blocks = (indices.len() as u64).div_ceil(16);
+        let idx_base = self.allocator.alloc(idx_blocks)?;
+        let idx_u32: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
+        self.pool.write_u32_slice(idx_base, &idx_u32);
+
+        let output_base = self.allocator.alloc(indices.len() as u64 * table.vec_blocks)?;
+        let instr = Instruction::Gather {
+            table_base: table.base_block,
+            idx_base,
+            output_base,
+            count: indices.len() as u64,
+            vec_blocks: table.vec_blocks,
+        };
+        self.run_instruction(instr, Some(indices))?;
+        Ok(TensorHandle {
+            base_block: output_base,
+            count: indices.len() as u64,
+            dim: table.dim,
+            vec_blocks: table.vec_blocks,
+        })
+    }
+
+    /// REDUCE: element-wise combine two equal-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ShapeMismatch`] when shapes differ.
+    pub fn reduce(
+        &mut self,
+        a: &TensorHandle,
+        b: &TensorHandle,
+        op: ReduceOp,
+    ) -> Result<TensorHandle, CoreError> {
+        if a.blocks() != b.blocks() || a.dim != b.dim {
+            return Err(CoreError::ShapeMismatch {
+                left: a.blocks(),
+                right: b.blocks(),
+            });
+        }
+        let output_base = self.allocator.alloc(a.blocks())?;
+        let instr = Instruction::Reduce {
+            input1: a.base_block,
+            input2: b.base_block,
+            output_base,
+            count: a.blocks(),
+            op,
+        };
+        self.run_instruction(instr, None)?;
+        Ok(TensorHandle {
+            base_block: output_base,
+            count: a.count,
+            dim: a.dim,
+            vec_blocks: a.vec_blocks,
+        })
+    }
+
+    /// AVERAGE: pool groups of `group` consecutive vectors (multi-hot
+    /// pooling, Fig. 9c).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadGrouping`] when `count % group != 0`.
+    pub fn average(
+        &mut self,
+        t: &TensorHandle,
+        group: u64,
+    ) -> Result<TensorHandle, CoreError> {
+        if group == 0 || !t.count.is_multiple_of(group) {
+            return Err(CoreError::BadGrouping {
+                count: t.count,
+                group,
+            });
+        }
+        let out_count = t.count / group;
+        let output_base = self.allocator.alloc(out_count * t.vec_blocks)?;
+        let instr = Instruction::Average {
+            input_base: t.base_block,
+            output_base,
+            count: out_count,
+            group,
+            vec_blocks: t.vec_blocks,
+        };
+        self.run_instruction(instr, None)?;
+        Ok(TensorHandle {
+            base_block: output_base,
+            count: out_count,
+            dim: t.dim,
+            vec_blocks: t.vec_blocks,
+        })
+    }
+
+    /// Concatenate tensors of equal embedding dimension into one tensor
+    /// (the "tensor concatenation" feature-interaction path of Fig. 2).
+    ///
+    /// Implemented entirely with the existing ISA: each source is copied
+    /// into place by a GATHER whose table is the source tensor and whose
+    /// index list is the identity — no new opcode required.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Empty`] for no sources, [`CoreError::ShapeMismatch`]
+    /// when dims differ, [`CoreError::OutOfMemory`] when the pool is full.
+    pub fn concat(&mut self, sources: &[TensorHandle]) -> Result<TensorHandle, CoreError> {
+        let first = sources.first().ok_or(CoreError::Empty { what: "sources" })?;
+        for s in sources {
+            if s.dim != first.dim || s.vec_blocks != first.vec_blocks {
+                return Err(CoreError::ShapeMismatch {
+                    left: first.vec_blocks,
+                    right: s.vec_blocks,
+                });
+            }
+        }
+        let total: u64 = sources.iter().map(|s| s.count).sum();
+        let output_base = self.allocator.alloc(total * first.vec_blocks)?;
+        let mut cursor = output_base;
+        for s in sources {
+            let indices: Vec<u64> = (0..s.count).collect();
+            let idx_blocks = s.count.div_ceil(16);
+            let idx_base = self.allocator.alloc(idx_blocks)?;
+            let idx_u32: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
+            self.pool.write_u32_slice(idx_base, &idx_u32);
+            let instr = Instruction::Gather {
+                table_base: s.base_block,
+                idx_base,
+                output_base: cursor,
+                count: s.count,
+                vec_blocks: s.vec_blocks,
+            };
+            self.run_instruction(instr, Some(&indices))?;
+            cursor += s.count * s.vec_blocks;
+        }
+        Ok(TensorHandle {
+            base_block: output_base,
+            count: total,
+            dim: first.dim,
+            vec_blocks: first.vec_blocks,
+        })
+    }
+
+    /// Run a complete embedding layer (Fig. 2 steps 1 and 2): gather a
+    /// multi-hot batch from every table, pool each table's lookups with
+    /// AVERAGE, and concatenate the pooled embeddings per sample.
+    ///
+    /// `indices_per_table[t]` holds `batch * lookups` indices for table
+    /// `t`. Returns a tensor of `batch` feature vectors of dimension
+    /// `tables * dim` ready for the DNN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`TensorNode::gather`],
+    /// [`TensorNode::average`] and [`TensorNode::concat`]; additionally
+    /// [`CoreError::BadGrouping`] when an index list is not a whole number
+    /// of `lookups`-sized samples, and [`CoreError::ShapeMismatch`] when
+    /// tables disagree in dimension.
+    pub fn embedding_layer(
+        &mut self,
+        tables: &[TableHandle],
+        indices_per_table: &[Vec<u64>],
+        lookups: u64,
+    ) -> Result<TensorHandle, CoreError> {
+        if tables.is_empty() || tables.len() != indices_per_table.len() {
+            return Err(CoreError::Empty { what: "tables" });
+        }
+        let mut pooled = Vec::with_capacity(tables.len());
+        for (table, indices) in tables.iter().zip(indices_per_table) {
+            let gathered = self.gather(table, indices)?;
+            pooled.push(self.average(&gathered, lookups)?);
+        }
+        let batch = pooled[0].count;
+        if pooled.iter().any(|p| p.count != batch) {
+            return Err(CoreError::ShapeMismatch {
+                left: pooled[0].blocks(),
+                right: pooled.iter().map(TensorHandle::blocks).max().unwrap_or(0),
+            });
+        }
+        // Interleave per sample: feature vector b = [table0_b | table1_b | ..].
+        // Build with one GATHER per table into a strided output — expressed
+        // as `batch` single-vector copies per table via concat ordering.
+        // For API simplicity we concatenate table-major and expose the
+        // layout; downstream consumers (the MLP) read sample features with
+        // `read_features`.
+        self.concat(&pooled)
+    }
+
+    /// Read the feature matrix produced by [`TensorNode::embedding_layer`]
+    /// as `batch` rows of `tables * dim` values (sample-major, the layout
+    /// the DNN consumes).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadGrouping`] if the tensor does not divide into
+    /// `tables` equal segments.
+    pub fn read_features(
+        &self,
+        features: &TensorHandle,
+        tables: u64,
+    ) -> Result<Vec<f32>, CoreError> {
+        if tables == 0 || !features.count.is_multiple_of(tables) {
+            return Err(CoreError::BadGrouping {
+                count: features.count,
+                group: tables,
+            });
+        }
+        let batch = (features.count / tables) as usize;
+        let dim = features.dim;
+        let table_major = self.read_tensor(features)?;
+        let mut sample_major = vec![0.0f32; table_major.len()];
+        for t in 0..tables as usize {
+            for b in 0..batch {
+                let src = (t * batch + b) * dim;
+                let dst = b * (tables as usize * dim) + t * dim;
+                sample_major[dst..dst + dim].copy_from_slice(&table_major[src..src + dim]);
+            }
+        }
+        Ok(sample_major)
+    }
+
+    /// Read a tensor back to the host as a flat `count × dim` vector
+    /// (stripe padding removed).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid handles.
+    pub fn read_tensor(&self, t: &TensorHandle) -> Result<Vec<f32>, CoreError> {
+        let mut out = Vec::with_capacity((t.count as usize) * t.dim);
+        for i in 0..t.count {
+            out.extend(
+                self.pool
+                    .read_f32_slice(t.base_block + i * t.vec_blocks, t.dim),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Read one table row back to the host.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RowOutOfRange`] for a bad row.
+    pub fn read_table_row(&self, table: &TableHandle, row: u64) -> Result<Vec<f32>, CoreError> {
+        if row >= table.rows {
+            return Err(CoreError::RowOutOfRange {
+                index: row,
+                rows: table.rows,
+            });
+        }
+        Ok(self
+            .pool
+            .read_f32_slice(table.base_block + row * table.vec_blocks, table.dim))
+    }
+
+    /// Model shipping a tensor's payload to a GPU over `link`
+    /// (P2P `cudaMemcpy` over NVLINK in the paper's system).
+    pub fn copy_to_gpu(&self, t: &TensorHandle, link: &Link) -> TransferReport {
+        link.transfer(t.payload_bytes())
+    }
+
+    fn run_instruction(
+        &mut self,
+        instr: Instruction,
+        indices: Option<&[u64]>,
+    ) -> Result<(), CoreError> {
+        // Production path: encode to the wire format the GPU runtime would
+        // ship, decode on the node side, and execute the decoded form.
+        let encoded = encode(&instr)?;
+        let decoded = decode(&encoded)?;
+        debug_assert_eq!(decoded, instr, "wire format must round-trip");
+        let exec = execute_on_node(&decoded, &mut self.pool, self.config.dimms)?;
+
+        let timing = match self.config.timing {
+            TimingMode::Functional => None,
+            TimingMode::Replay => Some(self.representative_dimm.replay_instruction(
+                &decoded,
+                DimmContext::new(self.config.dimms, 0),
+                indices,
+            )?),
+            TimingMode::Pipeline => Some(self.representative_dimm.run_instruction(
+                &decoded,
+                DimmContext::new(self.config.dimms, 0),
+                indices,
+            )?),
+        };
+
+        self.reports.push(OpReport {
+            instruction: decoded,
+            encoded,
+            exec,
+            timing,
+            dimms: self.config.dimms,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TimingMode;
+
+    fn node() -> TensorNode {
+        TensorNode::new(TensorNodeConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn table_and_gather_roundtrip() {
+        let mut n = node();
+        let t = n.create_table("users", 64, 32, ).unwrap();
+        n.fill_table(&t, |r, c| r as f32 * 100.0 + c as f32).unwrap();
+        let g = n.gather(&t, &[5, 0, 63]).unwrap();
+        let host = n.read_tensor(&g).unwrap();
+        assert_eq!(host.len(), 3 * 32);
+        assert_eq!(host[0], 500.0);
+        assert_eq!(host[32], 0.0);
+        assert_eq!(host[2 * 32 + 7], 6307.0);
+    }
+
+    #[test]
+    fn gather_matches_golden() {
+        let mut n = node();
+        let table = tensordimm_embedding::EmbeddingTable::seeded("x", 128, 48, 9);
+        let h = n.create_table("x", 128, 48).unwrap();
+        n.load_table(&h, table.data()).unwrap();
+        let idx = [3u64, 77, 12, 12, 127];
+        let g = n.gather(&h, &idx).unwrap();
+        let got = n.read_tensor(&g).unwrap();
+        let want = tensordimm_embedding::ops::gather(&table, &idx).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reduce_and_average_match_golden() {
+        let mut n = node();
+        let t = n.create_table("t", 16, 64).unwrap();
+        n.fill_table(&t, |r, c| (r as f32) + (c as f32) * 0.5).unwrap();
+        let a = n.gather(&t, &[1, 2, 3, 4]).unwrap();
+        let b = n.gather(&t, &[5, 6, 7, 8]).unwrap();
+        let sum = n.reduce(&a, &b, ReduceOp::Add).unwrap();
+        let host = n.read_tensor(&sum).unwrap();
+        // Row r has value r + 0.5c: (1+5), (2+6), ...
+        assert_eq!(host[0], 6.0);
+        assert_eq!(host[64], 8.0);
+
+        let pooled = n.average(&a, 2).unwrap();
+        assert_eq!(pooled.count(), 2);
+        let host = n.read_tensor(&pooled).unwrap();
+        assert_eq!(host[0], 1.5); // avg of rows 1 and 2 at col 0
+    }
+
+    #[test]
+    fn shape_and_bounds_errors() {
+        let mut n = node();
+        let t = n.create_table("t", 8, 16).unwrap();
+        assert!(matches!(
+            n.gather(&t, &[8]),
+            Err(CoreError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(n.gather(&t, &[]), Err(CoreError::Empty { .. })));
+        let a = n.gather(&t, &[0, 1]).unwrap();
+        let b = n.gather(&t, &[0, 1, 2]).unwrap();
+        assert!(matches!(
+            n.reduce(&a, &b, ReduceOp::Add),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            n.average(&b, 2),
+            Err(CoreError::BadGrouping { .. })
+        ));
+        assert!(n.create_table("z", 0, 4).is_err());
+        assert!(n.create_table("z", 4, 0).is_err());
+    }
+
+    #[test]
+    fn pool_exhaustion() {
+        let cfg = TensorNodeConfig::small().with_pool_blocks(256);
+        let mut n = TensorNode::new(cfg).unwrap();
+        assert!(matches!(
+            n.create_table("big", 1 << 20, 512),
+            Err(CoreError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_accumulate_with_timing() {
+        let mut n = node();
+        let t = n.create_table("t", 32, 64).unwrap();
+        let a = n.gather(&t, &[0, 1, 2, 3]).unwrap();
+        let _ = n.average(&a, 4).unwrap();
+        assert_eq!(n.reports().len(), 2);
+        let last = n.last_report().unwrap();
+        assert!(matches!(last.instruction, Instruction::Average { .. }));
+        assert!(last.elapsed_ns().unwrap() > 0.0);
+        assert!(last.node_gbps().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn functional_mode_skips_timing() {
+        let cfg = TensorNodeConfig::small().with_timing(TimingMode::Functional);
+        let mut n = TensorNode::new(cfg).unwrap();
+        let t = n.create_table("t", 8, 16).unwrap();
+        let _ = n.gather(&t, &[0]).unwrap();
+        assert!(n.last_report().unwrap().timing.is_none());
+    }
+
+    #[test]
+    fn padding_pads_small_dims_to_stripe() {
+        let n = node(); // 4 DIMMs
+        // dim 16 = 1 block, padded to 4.
+        assert_eq!(n.vec_blocks_for(16), 4);
+        // dim 512 = 32 blocks, already a multiple of 4.
+        assert_eq!(n.vec_blocks_for(512), 32);
+        // dim 100 -> 400 B -> 7 blocks -> 8.
+        assert_eq!(n.vec_blocks_for(100), 8);
+    }
+
+    #[test]
+    fn copy_to_gpu_uses_payload_bytes() {
+        let mut n = node();
+        let t = n.create_table("t", 8, 16).unwrap();
+        let a = n.gather(&t, &[0, 1]).unwrap();
+        let link = tensordimm_interconnect::Link::nvlink2_x6();
+        let rep = n.copy_to_gpu(&a, &link);
+        assert_eq!(rep.bytes, 2 * 16 * 4);
+    }
+
+    #[test]
+    fn node_metadata() {
+        let n = TensorNode::new(TensorNodeConfig::paper()).unwrap();
+        assert_eq!(n.dimms(), 32);
+        assert!((n.peak_gbps() - 819.2).abs() < 1e-9);
+        assert!((n.power_watts() - 416.0).abs() < 1e-9);
+        assert_eq!(n.used_blocks(), 0);
+    }
+
+    #[test]
+    fn concat_preserves_order_and_values() {
+        let mut n = node();
+        let t = n.create_table("t", 16, 32).unwrap();
+        n.fill_table(&t, |r, _| r as f32).unwrap();
+        let a = n.gather(&t, &[1, 2]).unwrap();
+        let b = n.gather(&t, &[7]).unwrap();
+        let c = n.gather(&t, &[9, 10, 11]).unwrap();
+        let cat = n.concat(&[a, b, c]).unwrap();
+        assert_eq!(cat.count(), 6);
+        let host = n.read_tensor(&cat).unwrap();
+        let firsts: Vec<f32> = host.chunks(32).map(|v| v[0]).collect();
+        assert_eq!(firsts, vec![1.0, 2.0, 7.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn concat_shape_checks() {
+        let mut n = node();
+        let t32 = n.create_table("a", 8, 32).unwrap();
+        let t64 = n.create_table("b", 8, 64).unwrap();
+        let a = n.gather(&t32, &[0]).unwrap();
+        let b = n.gather(&t64, &[0]).unwrap();
+        assert!(matches!(
+            n.concat(&[a, b]),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(n.concat(&[]), Err(CoreError::Empty { .. })));
+    }
+
+    #[test]
+    fn embedding_layer_end_to_end() {
+        let mut n = node();
+        let batch = 4usize;
+        let lookups = 3u64;
+        let mut tables = Vec::new();
+        for t in 0..2u64 {
+            let h = n.create_table(&format!("t{t}"), 32, 16).unwrap();
+            n.fill_table(&h, move |r, _| (r + 100 * t) as f32).unwrap();
+            tables.push(h);
+        }
+        // Table 0 looks up rows {0,1,2} per sample -> pooled 1.0;
+        // table 1 rows {3,4,5} -> pooled 104.0.
+        let idx0: Vec<u64> = (0..batch as u64 * lookups).map(|i| i % 3).collect();
+        let idx1: Vec<u64> = (0..batch as u64 * lookups).map(|i| 3 + i % 3).collect();
+        let features = n
+            .embedding_layer(&tables, &[idx0, idx1], lookups)
+            .unwrap();
+        assert_eq!(features.count(), 2 * batch as u64);
+        let rows = n.read_features(&features, 2).unwrap();
+        assert_eq!(rows.len(), batch * 2 * 16);
+        for b in 0..batch {
+            let base = b * 32;
+            assert!((rows[base] - 1.0).abs() < 1e-6, "sample {b} table 0");
+            assert!((rows[base + 16] - 104.0).abs() < 1e-6, "sample {b} table 1");
+        }
+    }
+
+    #[test]
+    fn op_energy_reported_in_replay_mode() {
+        let mut n = node();
+        let t = n.create_table("t", 64, 64).unwrap();
+        let _ = n.gather(&t, &[0, 1, 2, 3]).unwrap();
+        let e = n.last_report().unwrap().energy().unwrap();
+        assert!(e.total_nj() > 0.0);
+        assert!(e.pj_per_bit() > 1.0 && e.pj_per_bit() < 100.0);
+    }
+
+    #[test]
+    fn upload_tensor_roundtrip() {
+        let mut n = node();
+        let data: Vec<f32> = (0..96).map(|i| i as f32).collect();
+        let t = n.upload_tensor(&data, 6, 16).unwrap();
+        assert_eq!(n.read_tensor(&t).unwrap(), data);
+        assert!(n.upload_tensor(&data, 5, 16).is_err());
+        assert!(n.upload_tensor(&[], 0, 16).is_err());
+    }
+}
+
+#[cfg(test)]
+mod metadata_tests {
+    use super::*;
+
+    #[test]
+    fn table_registry_tracks_names() {
+        let mut n = TensorNode::new(TensorNodeConfig::small()).unwrap();
+        n.create_table("users", 4, 16).unwrap();
+        n.create_table("items", 4, 16).unwrap();
+        let names: Vec<&str> = n.tables().iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(names, vec!["users", "items"]);
+        assert_eq!(n.tables()[0].0, 0);
+        assert_eq!(n.tables()[1].0, 1);
+    }
+
+    #[test]
+    fn allocator_accounting_via_node() {
+        let mut n = TensorNode::new(TensorNodeConfig::small()).unwrap();
+        let before = n.available_blocks();
+        let t = n.create_table("t", 8, 64).unwrap();
+        assert_eq!(n.used_blocks(), t.stored_bytes() / 64);
+        assert_eq!(n.available_blocks(), before - n.used_blocks());
+    }
+
+    #[test]
+    fn report_wire_format_matches_instruction() {
+        let mut n = TensorNode::new(TensorNodeConfig::small()).unwrap();
+        let t = n.create_table("t", 8, 16).unwrap();
+        let _ = n.gather(&t, &[1, 2]).unwrap();
+        let report = n.last_report().unwrap();
+        let decoded = tensordimm_isa::decode(&report.encoded).unwrap();
+        assert_eq!(decoded, report.instruction);
+        assert!(matches!(decoded, Instruction::Gather { count: 2, .. }));
+    }
+
+    #[test]
+    fn concat_logs_one_gather_per_source() {
+        let mut n = TensorNode::new(TensorNodeConfig::small()).unwrap();
+        let t = n.create_table("t", 8, 16).unwrap();
+        let a = n.gather(&t, &[0]).unwrap();
+        let b = n.gather(&t, &[1]).unwrap();
+        let ops_before = n.reports().len();
+        let _ = n.concat(&[a, b]).unwrap();
+        assert_eq!(n.reports().len(), ops_before + 2);
+        assert!(n.reports()[ops_before..]
+            .iter()
+            .all(|r| matches!(r.instruction, Instruction::Gather { .. })));
+    }
+
+    #[test]
+    fn clone_preserves_pool_contents() {
+        let mut n = TensorNode::new(TensorNodeConfig::small()).unwrap();
+        let t = n.create_table("t", 4, 16).unwrap();
+        n.fill_table(&t, |r, _| r as f32).unwrap();
+        let snapshot = n.clone();
+        assert_eq!(
+            snapshot.read_table_row(&t, 3).unwrap(),
+            n.read_table_row(&t, 3).unwrap()
+        );
+    }
+}

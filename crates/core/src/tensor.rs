@@ -1,0 +1,122 @@
+//! Handles to pool-resident tables and tensors.
+
+/// A handle to an embedding lookup table resident in the node's pool.
+///
+/// Handles are plain descriptors; the data lives in the node. Embedding
+/// vectors are padded up to a whole number of per-DIMM stripes
+/// (`vec_blocks` is a multiple of the node's DIMM count) so every DIMM
+/// owns an equal slice of every vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableHandle {
+    pub(crate) id: u64,
+    pub(crate) base_block: u64,
+    pub(crate) rows: u64,
+    pub(crate) dim: usize,
+    pub(crate) vec_blocks: u64,
+}
+
+impl TableHandle {
+    /// First pool block of the table.
+    pub fn base_block(&self) -> u64 {
+        self.base_block
+    }
+
+    /// Number of embedding vectors.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Embedding dimension (unpadded, in f32 elements).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Stored blocks per vector (padded to the DIMM stripe).
+    pub fn vec_blocks(&self) -> u64 {
+        self.vec_blocks
+    }
+
+    /// Bytes occupied in the pool (including stripe padding).
+    pub fn stored_bytes(&self) -> u64 {
+        self.rows * self.vec_blocks * 64
+    }
+}
+
+/// A handle to a tensor of `count` embedding vectors in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorHandle {
+    pub(crate) base_block: u64,
+    pub(crate) count: u64,
+    pub(crate) dim: usize,
+    pub(crate) vec_blocks: u64,
+}
+
+impl TensorHandle {
+    /// First pool block.
+    pub fn base_block(&self) -> u64 {
+        self.base_block
+    }
+
+    /// Number of embedding vectors.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Embedding dimension (unpadded).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Stored blocks per vector (padded to the DIMM stripe).
+    pub fn vec_blocks(&self) -> u64 {
+        self.vec_blocks
+    }
+
+    /// Total stored blocks.
+    pub fn blocks(&self) -> u64 {
+        self.count * self.vec_blocks
+    }
+
+    /// Bytes of *useful* payload (`count × dim × 4`, excluding padding).
+    pub fn payload_bytes(&self) -> u64 {
+        self.count * self.dim as u64 * 4
+    }
+
+    /// Bytes occupied in the pool (including stripe padding).
+    pub fn stored_bytes(&self) -> u64 {
+        self.blocks() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_math() {
+        let t = TensorHandle {
+            base_block: 128,
+            count: 4,
+            dim: 100,
+            vec_blocks: 32,
+        };
+        assert_eq!(t.base_block(), 128);
+        assert_eq!(t.blocks(), 128);
+        assert_eq!(t.payload_bytes(), 1600);
+        assert_eq!(t.stored_bytes(), 8192);
+    }
+
+    #[test]
+    fn table_math() {
+        let t = TableHandle {
+            id: 1,
+            base_block: 0,
+            rows: 10,
+            dim: 512,
+            vec_blocks: 32,
+        };
+        assert_eq!(t.stored_bytes(), 10 * 32 * 64);
+        assert_eq!(t.rows(), 10);
+        assert_eq!(t.dim(), 512);
+    }
+}

@@ -1,0 +1,284 @@
+//! Bank and rank timing state.
+//!
+//! Each bank tracks the earliest cycle at which each command class may be
+//! issued to it; each rank tracks cross-bank constraints (tRRD, tFAW,
+//! CAS-to-CAS spacing, write-to-read turnaround, refresh).
+
+use std::collections::VecDeque;
+
+use crate::timing::DramTiming;
+
+/// Timing state of a single DRAM bank.
+#[derive(Debug, Clone, Default)]
+pub struct Bank {
+    /// Currently open row, if any.
+    pub open_row: Option<usize>,
+    /// Earliest cycle an ACTIVATE may issue (tRP / tRC / tRFC).
+    pub next_act: u64,
+    /// Earliest cycle a PRECHARGE may issue (tRAS / tRTP / write recovery).
+    pub next_pre: u64,
+    /// Earliest cycle a READ may issue (tRCD).
+    pub next_rd: u64,
+    /// Earliest cycle a WRITE may issue (tRCD).
+    pub next_wr: u64,
+}
+
+/// Timing state of a rank: its banks plus rank-wide constraints.
+#[derive(Debug, Clone)]
+pub struct Rank {
+    /// Banks, indexed `bank_group * banks_per_group + bank`.
+    pub banks: Vec<Bank>,
+    banks_per_group: usize,
+    /// Issue times of the most recent ACTIVATEs (bounded by four, for tFAW).
+    act_window: VecDeque<u64>,
+    /// Last ACTIVATE per bank group (for tRRD_S/L).
+    last_act: Vec<Option<u64>>,
+    /// Last READ command per bank group (for tCCD_S/L).
+    last_rd: Vec<Option<u64>>,
+    /// Last WRITE command per bank group (for tCCD_S/L and tWTR_S/L).
+    last_wr: Vec<Option<u64>>,
+    /// Next scheduled refresh deadline.
+    pub next_refresh_due: u64,
+    /// Rank is unavailable until this cycle (mid-refresh).
+    pub refresh_busy_until: u64,
+}
+
+impl Rank {
+    /// A fresh rank with `bank_groups * banks_per_group` banks.
+    pub fn new(bank_groups: usize, banks_per_group: usize, first_refresh: u64) -> Self {
+        Rank {
+            banks: vec![Bank::default(); bank_groups * banks_per_group],
+            banks_per_group,
+            act_window: VecDeque::with_capacity(4),
+            last_act: vec![None; bank_groups],
+            last_rd: vec![None; bank_groups],
+            last_wr: vec![None; bank_groups],
+            next_refresh_due: first_refresh,
+            refresh_busy_until: 0,
+        }
+    }
+
+    /// Flat bank index.
+    pub fn bank_index(&self, bank_group: usize, bank: usize) -> usize {
+        bank_group * self.banks_per_group + bank
+    }
+
+    /// Earliest cycle an ACTIVATE to `(bank_group, bank)` may issue.
+    pub fn earliest_activate(&self, t: &DramTiming, bank_group: usize, bank: usize) -> u64 {
+        let mut earliest = self.banks[self.bank_index(bank_group, bank)].next_act;
+        earliest = earliest.max(self.refresh_busy_until);
+        for (bg, last) in self.last_act.iter().enumerate() {
+            if let Some(at) = last {
+                let spacing = if bg == bank_group { t.trrd_l } else { t.trrd_s };
+                earliest = earliest.max(at + spacing);
+            }
+        }
+        if self.act_window.len() == 4 {
+            earliest = earliest.max(self.act_window[0] + t.tfaw);
+        }
+        earliest
+    }
+
+    /// Earliest cycle a READ to `(bank_group, bank)` may issue,
+    /// considering only rank-internal constraints.
+    pub fn earliest_read(&self, t: &DramTiming, bank_group: usize, bank: usize) -> u64 {
+        let mut earliest = self.banks[self.bank_index(bank_group, bank)].next_rd;
+        earliest = earliest.max(self.refresh_busy_until);
+        for bg in 0..self.last_rd.len() {
+            let ccd = if bg == bank_group { t.tccd_l } else { t.tccd_s };
+            if let Some(at) = self.last_rd[bg] {
+                earliest = earliest.max(at + ccd);
+            }
+            if let Some(at) = self.last_wr[bg] {
+                earliest = earliest.max(at + ccd);
+                // Write-to-read turnaround.
+                let wtr = if bg == bank_group {
+                    t.write_to_read_same_bg()
+                } else {
+                    t.write_to_read_diff_bg()
+                };
+                earliest = earliest.max(at + wtr);
+            }
+        }
+        earliest
+    }
+
+    /// Earliest cycle a WRITE to `(bank_group, bank)` may issue,
+    /// considering only rank-internal constraints.
+    pub fn earliest_write(&self, t: &DramTiming, bank_group: usize, bank: usize) -> u64 {
+        let mut earliest = self.banks[self.bank_index(bank_group, bank)].next_wr;
+        earliest = earliest.max(self.refresh_busy_until);
+        for bg in 0..self.last_wr.len() {
+            let ccd = if bg == bank_group { t.tccd_l } else { t.tccd_s };
+            if let Some(at) = self.last_rd[bg] {
+                earliest = earliest.max(at + ccd);
+            }
+            if let Some(at) = self.last_wr[bg] {
+                earliest = earliest.max(at + ccd);
+            }
+        }
+        earliest
+    }
+
+    /// Earliest cycle a PRECHARGE to `(bank_group, bank)` may issue.
+    pub fn earliest_precharge(&self, bank_group: usize, bank: usize) -> u64 {
+        self.banks[self.bank_index(bank_group, bank)]
+            .next_pre
+            .max(self.refresh_busy_until)
+    }
+
+    /// Record an ACTIVATE issued at `cycle`.
+    pub fn record_activate(&mut self, t: &DramTiming, bank_group: usize, bank: usize, cycle: u64, row: usize) {
+        let idx = self.bank_index(bank_group, bank);
+        let b = &mut self.banks[idx];
+        b.open_row = Some(row);
+        b.next_rd = b.next_rd.max(cycle + t.trcd);
+        b.next_wr = b.next_wr.max(cycle + t.trcd);
+        b.next_pre = b.next_pre.max(cycle + t.tras);
+        b.next_act = b.next_act.max(cycle + t.trc());
+        self.last_act[bank_group] = Some(cycle);
+        if self.act_window.len() == 4 {
+            self.act_window.pop_front();
+        }
+        self.act_window.push_back(cycle);
+    }
+
+    /// Record a READ issued at `cycle`; `auto_precharge` models RDA.
+    pub fn record_read(&mut self, t: &DramTiming, bank_group: usize, bank: usize, cycle: u64, auto_precharge: bool) {
+        let idx = self.bank_index(bank_group, bank);
+        self.last_rd[bank_group] = Some(cycle);
+        let b = &mut self.banks[idx];
+        b.next_pre = b.next_pre.max(cycle + t.trtp);
+        if auto_precharge {
+            let pre_at = b.next_pre;
+            b.open_row = None;
+            b.next_act = b.next_act.max(pre_at + t.trp);
+        }
+    }
+
+    /// Record a WRITE issued at `cycle`; `auto_precharge` models WRA.
+    pub fn record_write(&mut self, t: &DramTiming, bank_group: usize, bank: usize, cycle: u64, auto_precharge: bool) {
+        let idx = self.bank_index(bank_group, bank);
+        self.last_wr[bank_group] = Some(cycle);
+        let b = &mut self.banks[idx];
+        b.next_pre = b.next_pre.max(cycle + t.write_to_precharge());
+        if auto_precharge {
+            let pre_at = b.next_pre;
+            b.open_row = None;
+            b.next_act = b.next_act.max(pre_at + t.trp);
+        }
+    }
+
+    /// Record a PRECHARGE issued at `cycle`.
+    pub fn record_precharge(&mut self, t: &DramTiming, bank_group: usize, bank: usize, cycle: u64) {
+        let idx = self.bank_index(bank_group, bank);
+        let b = &mut self.banks[idx];
+        b.open_row = None;
+        b.next_act = b.next_act.max(cycle + t.trp);
+    }
+
+    /// Whether every bank in the rank is precharged (required before REF).
+    pub fn all_banks_closed(&self) -> bool {
+        self.banks.iter().all(|b| b.open_row.is_none())
+    }
+
+    /// Earliest cycle a REFRESH may issue (all banks closed and settled).
+    pub fn earliest_refresh(&self) -> u64 {
+        self.banks
+            .iter()
+            .map(|b| b.next_act)
+            .max()
+            .unwrap_or(0)
+            .max(self.refresh_busy_until)
+    }
+
+    /// Record a REFRESH issued at `cycle`.
+    pub fn record_refresh(&mut self, t: &DramTiming, cycle: u64) {
+        self.refresh_busy_until = cycle + t.trfc;
+        for b in &mut self.banks {
+            b.next_act = b.next_act.max(cycle + t.trfc);
+        }
+        self.next_refresh_due += t.trefi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank() -> Rank {
+        Rank::new(4, 4, 12480)
+    }
+
+    #[test]
+    fn activate_opens_row_and_spaces_commands() {
+        let t = DramTiming::ddr4_3200();
+        let mut r = rank();
+        r.record_activate(&t, 0, 0, 100, 7);
+        assert_eq!(r.banks[0].open_row, Some(7));
+        assert_eq!(r.earliest_read(&t, 0, 0), 100 + t.trcd);
+        assert_eq!(r.earliest_precharge(0, 0), 100 + t.tras);
+        // Same bank group: tRRD_L; different: tRRD_S.
+        assert_eq!(r.earliest_activate(&t, 0, 1), 100 + t.trrd_l);
+        assert_eq!(r.earliest_activate(&t, 1, 0), 100 + t.trrd_s);
+        // Same bank: tRC.
+        assert_eq!(r.earliest_activate(&t, 0, 0), 100 + t.trc());
+    }
+
+    #[test]
+    fn four_activate_window_enforced() {
+        let t = DramTiming::ddr4_3200();
+        let mut r = rank();
+        // Four activates to different bank groups at the rrd_s cadence.
+        let mut c = 0;
+        for i in 0..4 {
+            r.record_activate(&t, i, 0, c, 0);
+            c += t.trrd_s;
+        }
+        // Fifth activate must wait for the window regardless of tRRD.
+        let e = r.earliest_activate(&t, 0, 1);
+        assert!(e >= t.tfaw, "tFAW not enforced: {e}");
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let t = DramTiming::ddr4_3200();
+        let mut r = rank();
+        r.record_activate(&t, 0, 0, 0, 1);
+        r.record_activate(&t, 1, 0, t.trrd_s, 1);
+        r.record_write(&t, 0, 0, 50, false);
+        // Same bank group pays the long turnaround.
+        assert!(r.earliest_read(&t, 0, 0) >= 50 + t.write_to_read_same_bg());
+        // Different group pays the short one.
+        assert!(r.earliest_read(&t, 1, 0) >= 50 + t.write_to_read_diff_bg());
+        assert!(r.earliest_read(&t, 1, 0) < 50 + t.write_to_read_same_bg());
+    }
+
+    #[test]
+    fn refresh_blocks_rank() {
+        let t = DramTiming::ddr4_3200();
+        let mut r = rank();
+        assert!(r.all_banks_closed());
+        r.record_refresh(&t, 1000);
+        assert_eq!(r.refresh_busy_until, 1000 + t.trfc);
+        assert!(r.earliest_activate(&t, 0, 0) >= 1000 + t.trfc);
+        assert_eq!(r.next_refresh_due, 12480 + t.trefi);
+    }
+
+    #[test]
+    fn auto_precharge_closes_row() {
+        let t = DramTiming::ddr4_3200();
+        let mut r = rank();
+        r.record_activate(&t, 0, 0, 0, 3);
+        r.record_read(&t, 0, 0, t.trcd, true);
+        assert_eq!(r.banks[0].open_row, None);
+        // Next activate waits for tRAS (precharge gate) + tRP at least.
+        assert!(r.banks[0].next_act >= t.tras + t.trp);
+    }
+
+    #[test]
+    fn closed_rank_is_refreshable_immediately() {
+        let r = rank();
+        assert_eq!(r.earliest_refresh(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Memory requests and completions.
+
+/// Direction of a memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// 64-byte read burst.
+    Read,
+    /// 64-byte write burst.
+    Write,
+}
+
+/// A 64-byte memory request presented to the memory system.
+///
+/// The simulator is timing-only; the data payload lives in the functional
+/// layers above (the embedding store and the NMP core's functional model).
+///
+/// # Example
+///
+/// ```
+/// use tensordimm_dram::{Request, RequestKind};
+///
+/// let r = Request::read(0x40).with_id(7);
+/// assert_eq!(r.kind, RequestKind::Read);
+/// assert_eq!(r.addr, 0x40);
+/// assert_eq!(r.id, 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Physical byte address (64-byte aligned; low bits are ignored).
+    pub addr: u64,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Caller-assigned identifier, echoed in the completion record.
+    pub id: u64,
+}
+
+impl Request {
+    /// A read of the 64-byte block containing `addr`.
+    pub fn read(addr: u64) -> Self {
+        Request {
+            addr,
+            kind: RequestKind::Read,
+            id: 0,
+        }
+    }
+
+    /// A write of the 64-byte block containing `addr`.
+    pub fn write(addr: u64) -> Self {
+        Request {
+            addr,
+            kind: RequestKind::Write,
+            id: 0,
+        }
+    }
+
+    /// Attach a caller-assigned identifier.
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = id;
+        self
+    }
+}
+
+/// A serviced request, reported by the memory system when its data burst
+/// completes (reads) or when it is accepted into DRAM (writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The original request.
+    pub request: Request,
+    /// Cycle the request entered the controller queue.
+    pub enqueued_at: u64,
+    /// Cycle the data transfer finished.
+    pub finished_at: u64,
+}
+
+impl Completion {
+    /// Queueing + service latency in controller cycles.
+    pub fn latency(&self) -> u64 {
+        self.finished_at - self.enqueued_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Request::write(128).kind, RequestKind::Write);
+        assert_eq!(Request::read(0).id, 0);
+    }
+
+    #[test]
+    fn completion_latency() {
+        let c = Completion {
+            request: Request::read(0),
+            enqueued_at: 10,
+            finished_at: 42,
+        };
+        assert_eq!(c.latency(), 32);
+    }
+}

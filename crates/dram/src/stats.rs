@@ -1,0 +1,196 @@
+//! Simulation statistics.
+
+use crate::timing::DramTiming;
+
+/// Counters collected by one channel's controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Read requests completed.
+    pub reads: u64,
+    /// Write requests completed.
+    pub writes: u64,
+    /// Data-bus cycles occupied by bursts.
+    pub bus_busy_cycles: u64,
+    /// Column accesses that hit an open row.
+    pub row_hits: u64,
+    /// Column accesses to a closed bank (activate required).
+    pub row_misses: u64,
+    /// Column accesses that required closing another row first.
+    pub row_conflicts: u64,
+    /// ACTIVATE commands issued.
+    pub activates: u64,
+    /// PRECHARGE commands issued (including auto-precharge).
+    pub precharges: u64,
+    /// REFRESH commands issued.
+    pub refreshes: u64,
+    /// Sum of read latencies (enqueue to data) in cycles.
+    pub read_latency_sum: u64,
+    /// Cycles during which at least one request was queued.
+    pub busy_cycles: u64,
+}
+
+impl ChannelStats {
+    /// Accumulate another channel's counters into this one.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bus_busy_cycles += other.bus_busy_cycles;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.refreshes += other.refreshes;
+        self.read_latency_sum += other.read_latency_sum;
+        self.busy_cycles += other.busy_cycles;
+    }
+
+    /// Fraction of column accesses that hit an open row.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean read latency in cycles.
+    pub fn mean_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads as f64
+        }
+    }
+}
+
+/// Aggregated statistics for a whole [`crate::MemorySystem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryStats {
+    /// Per-channel counters, merged.
+    pub totals: ChannelStats,
+    /// Number of channels contributing.
+    pub channels: usize,
+    /// Timing used, for unit conversion.
+    pub timing: DramTiming,
+    /// Bus width in bytes.
+    pub bus_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Total bytes transferred over all data buses.
+    pub fn bytes_transferred(&self) -> u64 {
+        (self.totals.reads + self.totals.writes) * crate::ACCESS_BYTES
+    }
+
+    /// Achieved bandwidth in GB/s over the simulated interval.
+    ///
+    /// Uses wall-clock cycles of the slowest channel, matching how a
+    /// fixed-length trace replay would be measured on hardware.
+    pub fn achieved_gbps(&self) -> f64 {
+        if self.totals.cycles == 0 {
+            return 0.0;
+        }
+        let seconds = self.totals.cycles as f64 * self.timing.ns_per_cycle() * 1e-9;
+        self.bytes_transferred() as f64 / 1e9 / seconds
+    }
+
+    /// Theoretical peak bandwidth in GB/s.
+    pub fn peak_gbps(&self) -> f64 {
+        self.timing.peak_gbps(self.bus_bytes as u64) * self.channels as f64
+    }
+
+    /// Achieved / peak bandwidth, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let peak = self.peak_gbps();
+        if peak == 0.0 {
+            0.0
+        } else {
+            self.achieved_gbps() / peak
+        }
+    }
+
+    /// Elapsed simulated time in nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.totals.cycles as f64 * self.timing.ns_per_cycle()
+    }
+
+    /// Fraction of column accesses that hit an open row.
+    pub fn row_hit_rate(&self) -> f64 {
+        self.totals.row_hit_rate()
+    }
+
+    /// Mean read latency in nanoseconds.
+    pub fn mean_read_latency_ns(&self) -> f64 {
+        self.totals.mean_read_latency() * self.timing.ns_per_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(reads: u64, writes: u64, cycles: u64) -> MemoryStats {
+        MemoryStats {
+            totals: ChannelStats {
+                cycles,
+                reads,
+                writes,
+                ..ChannelStats::default()
+            },
+            channels: 1,
+            timing: DramTiming::ddr4_3200(),
+            bus_bytes: 8,
+        }
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        // 1600 requests x 64 B in 6400 cycles @0.625 ns = 25.6 GB/s (peak).
+        let s = stats(1600, 0, 6400);
+        assert!((s.achieved_gbps() - 25.6).abs() < 1e-9);
+        assert!((s.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = stats(0, 0, 0);
+        assert_eq!(s.achieved_gbps(), 0.0);
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.mean_read_latency_ns(), 0.0);
+    }
+
+    #[test]
+    fn merge_takes_max_cycles_and_sums_counts() {
+        let mut a = ChannelStats {
+            cycles: 10,
+            reads: 5,
+            ..ChannelStats::default()
+        };
+        let b = ChannelStats {
+            cycles: 20,
+            reads: 7,
+            row_hits: 3,
+            ..ChannelStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.reads, 12);
+        assert_eq!(a.row_hits, 3);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let s = ChannelStats {
+            row_hits: 3,
+            row_misses: 1,
+            ..ChannelStats::default()
+        };
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,198 @@
+//! Sparse-feature index generators.
+//!
+//! Recommendation inference traffic is popularity-skewed: a small set of
+//! hot users/items dominates lookups. The paper's production traces are
+//! proprietary; zipfian sampling is the standard synthetic equivalent
+//! (uniform sampling is the worst case for row-buffer locality and is kept
+//! for stress tests).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sampling distribution over table rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Every row equally likely.
+    Uniform,
+    /// Zipfian with exponent `s` (typical recommendation skew: 0.9–1.1).
+    Zipfian {
+        /// Skew exponent; larger is more head-heavy.
+        s: f64,
+    },
+}
+
+/// A deterministic stream of embedding-table indices.
+///
+/// Zipfian sampling uses the rejection-inversion method of Hörmann &
+/// Derflinger, which is O(1) per sample for any table size.
+///
+/// # Example
+///
+/// ```
+/// use tensordimm_embedding::{Distribution, IndexStream};
+///
+/// let mut s = IndexStream::new(Distribution::Zipfian { s: 1.0 }, 1_000_000, 9);
+/// let batch = s.batch(64);
+/// assert_eq!(batch.len(), 64);
+/// assert!(batch.iter().all(|&i| i < 1_000_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexStream {
+    distribution: Distribution,
+    rows: u64,
+    rng: StdRng,
+    // Rejection-inversion precomputation for zipfian sampling.
+    zipf: Option<ZipfSampler>,
+}
+
+#[derive(Debug, Clone)]
+struct ZipfSampler {
+    s: f64,
+    rows: f64,
+    h_x1: f64,
+    h_n: f64,
+}
+
+impl ZipfSampler {
+    fn new(s: f64, rows: u64) -> Self {
+        let rows = rows as f64;
+        ZipfSampler {
+            s,
+            rows,
+            h_x1: Self::h_static(1.5, s) - 1.0,
+            h_n: Self::h_static(rows + 0.5, s),
+        }
+    }
+
+    /// Integral of x^-s (the "H" function of rejection inversion).
+    fn h_static(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+        }
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - self.s)).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        loop {
+            let u = self.h_x1 + rng.gen::<f64>() * (self.h_n - self.h_x1);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.rows);
+            let h_k = Self::h_static(k + 0.5, self.s) - Self::h_static(k - 0.5, self.s);
+            if u >= Self::h_static(k + 0.5, self.s) - h_k.min(k.powf(-self.s)) {
+                // Accept when u falls inside k's slice; the simple guard
+                // below accepts k with probability proportional to k^-s.
+                if rng.gen::<f64>() * h_k <= k.powf(-self.s) {
+                    return k as u64 - 1;
+                }
+            }
+        }
+    }
+}
+
+impl IndexStream {
+    /// A stream over `[0, rows)` with the given distribution and seed.
+    pub fn new(distribution: Distribution, rows: u64, seed: u64) -> Self {
+        let zipf = match distribution {
+            Distribution::Zipfian { s } => Some(ZipfSampler::new(s, rows)),
+            Distribution::Uniform => None,
+        };
+        IndexStream {
+            distribution,
+            rows,
+            rng: StdRng::seed_from_u64(seed),
+            zipf,
+        }
+    }
+
+    /// The distribution in use.
+    pub fn distribution(&self) -> Distribution {
+        self.distribution
+    }
+
+    /// Number of rows sampled over.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Draw one index.
+    pub fn next_index(&mut self) -> u64 {
+        match &self.zipf {
+            None => self.rng.gen_range(0..self.rows),
+            Some(z) => z.sample(&mut self.rng),
+        }
+    }
+
+    /// Draw `n` indices.
+    pub fn batch(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_index()).collect()
+    }
+
+    /// Draw a multi-hot batch: `batch` samples of `lookups` indices each
+    /// (the "max reduction" column of Table 2: how many embeddings are
+    /// pooled per sample).
+    pub fn multi_hot(&mut self, batch: usize, lookups: usize) -> Vec<u64> {
+        self.batch(batch * lookups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_bounds_and_determinism() {
+        let mut a = IndexStream::new(Distribution::Uniform, 1000, 5);
+        let mut b = IndexStream::new(Distribution::Uniform, 1000, 5);
+        let xa = a.batch(256);
+        let xb = b.batch(256);
+        assert_eq!(xa, xb);
+        assert!(xa.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let rows = 100_000u64;
+        let mut s = IndexStream::new(Distribution::Zipfian { s: 1.0 }, rows, 11);
+        let xs = s.batch(20_000);
+        let head = xs.iter().filter(|&&i| i < rows / 100).count() as f64;
+        let frac = head / xs.len() as f64;
+        // The top 1% of rows must draw far more than 1% of traffic.
+        assert!(frac > 0.2, "head fraction {frac}");
+        assert!(xs.iter().all(|&i| i < rows));
+    }
+
+    #[test]
+    fn zipf_higher_skew_is_hotter() {
+        let rows = 100_000u64;
+        let head = |s_exp: f64| {
+            let mut s = IndexStream::new(Distribution::Zipfian { s: s_exp }, rows, 13);
+            let xs = s.batch(20_000);
+            xs.iter().filter(|&&i| i < rows / 100).count()
+        };
+        assert!(head(1.2) > head(0.8));
+    }
+
+    #[test]
+    fn multi_hot_size() {
+        let mut s = IndexStream::new(Distribution::Uniform, 10, 3);
+        assert_eq!(s.multi_hot(4, 25).len(), 100);
+    }
+
+    #[test]
+    fn zipf_covers_tail() {
+        // Even skewed streams must occasionally reach the tail.
+        let rows = 10_000u64;
+        let mut s = IndexStream::new(Distribution::Zipfian { s: 0.9 }, rows, 17);
+        let xs = s.batch(50_000);
+        assert!(xs.iter().any(|&i| i > rows / 2), "tail never sampled");
+    }
+}

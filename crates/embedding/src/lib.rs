@@ -1,0 +1,96 @@
+//! Embedding-layer substrate: tables, index streams and golden tensor ops.
+//!
+//! The paper evaluates recommender systems whose embedding layers perform
+//! three steps (Fig. 2): look up (gather) embedding vectors from one or more
+//! tables, combine them with element-wise tensor operations (reduce /
+//! average), and feed the result to MLPs. Production tables and query
+//! traces are proprietary, so this crate provides the synthetic equivalent:
+//!
+//! * [`EmbeddingTable`] — deterministic, seeded tables of `rows × dim` f32,
+//! * [`IndexStream`] — uniform or zipfian (popularity-skewed) multi-hot
+//!   index generators, the standard stand-in for recommendation traffic,
+//! * [`ops`] — golden single-threaded gather / reduce / average used to
+//!   validate the near-memory execution paths,
+//! * [`footprint`] — memory-footprint models behind Fig. 3.
+//!
+//! # Example
+//!
+//! ```
+//! use tensordimm_embedding::{EmbeddingTable, IndexStream, Distribution, ops};
+//!
+//! let table = EmbeddingTable::seeded("items", 1000, 64, 42);
+//! let mut stream = IndexStream::new(Distribution::Zipfian { s: 1.05 }, 1000, 7);
+//! let indices = stream.batch(8);
+//! let gathered = ops::gather(&table, &indices)?;
+//! assert_eq!(gathered.len(), 8 * 64);
+//! # Ok::<(), tensordimm_embedding::EmbeddingError>(())
+//! ```
+
+pub mod footprint;
+pub mod indices;
+pub mod ops;
+pub mod table;
+
+pub use footprint::{mlp_params, table_bytes, FootprintReport};
+pub use indices::{Distribution, IndexStream};
+pub use table::EmbeddingTable;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the embedding substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EmbeddingError {
+    /// A shape parameter is zero.
+    EmptyShape {
+        /// Which parameter (rows / dim / batch).
+        what: &'static str,
+    },
+    /// Two tensors disagree in shape.
+    ShapeMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// An index exceeds the table's rows.
+    RowOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// Number of rows in the table.
+        rows: u64,
+    },
+}
+
+impl fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbeddingError::EmptyShape { what } => write!(f, "{what} must be nonzero"),
+            EmbeddingError::ShapeMismatch { left, right } => {
+                write!(f, "tensor shapes differ: {left} vs {right} elements")
+            }
+            EmbeddingError::RowOutOfRange { index, rows } => {
+                write!(f, "row index {index} out of range for table of {rows} rows")
+            }
+        }
+    }
+}
+
+impl Error for EmbeddingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(!EmbeddingError::EmptyShape { what: "rows" }.to_string().is_empty());
+        assert!(!EmbeddingError::ShapeMismatch { left: 1, right: 2 }
+            .to_string()
+            .is_empty());
+        assert!(!EmbeddingError::RowOutOfRange { index: 9, rows: 3 }
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! NVSwitch-style crossbar with port contention.
+//!
+//! The paper's TensorNode hangs off an NVSwitch (Fig. 6c), which is
+//! non-blocking: distinct port pairs communicate at full link bandwidth.
+//! Contention appears only at shared endpoints — e.g. several GPUs pulling
+//! pooled tensors from the *one* TensorNode port at once. This module
+//! models that effect with max-min fair sharing of per-port bandwidth, the
+//! standard abstraction for crossbar fabrics.
+
+use crate::link::Link;
+use crate::InterconnectError;
+
+/// One transfer request across the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Source port index.
+    pub from: usize,
+    /// Destination port index.
+    pub to: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// A non-blocking crossbar switch with `ports` identical full-duplex ports.
+///
+/// # Example
+///
+/// Two GPUs reading from the TensorNode port halve each other's bandwidth;
+/// a third flow between unrelated ports is unaffected:
+///
+/// ```
+/// use tensordimm_interconnect::{Link, Switch, Flow};
+///
+/// let sw = Switch::new(8, Link::nvlink2_x6())?;
+/// let times = sw.concurrent_transfer_us(&[
+///     Flow { from: 0, to: 1, bytes: 1 << 30 }, // node -> GPU A
+///     Flow { from: 0, to: 2, bytes: 1 << 30 }, // node -> GPU B
+///     Flow { from: 3, to: 4, bytes: 1 << 30 }, // GPU C -> GPU D
+/// ])?;
+/// assert!(times[0] > 1.9 * times[2] && times[0] < 2.1 * times[2]);
+/// # Ok::<(), tensordimm_interconnect::InterconnectError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Switch {
+    ports: usize,
+    link: Link,
+}
+
+impl Switch {
+    /// A switch with `ports` ports of `link` bandwidth each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterconnectError::InvalidLink`] for a zero-port switch.
+    pub fn new(ports: usize, link: Link) -> Result<Self, InterconnectError> {
+        if ports == 0 {
+            return Err(InterconnectError::InvalidLink { parameter: "ports" });
+        }
+        Ok(Switch { ports, link })
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The per-port link.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Completion time (µs) of each flow when all run concurrently, under
+    /// max-min fair sharing of source (egress) and destination (ingress)
+    /// port bandwidth. Flows are modeled as fluid: rates are recomputed as
+    /// flows finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterconnectError::UnknownGpu`] if a flow names a port
+    /// beyond `ports`.
+    pub fn concurrent_transfer_us(&self, flows: &[Flow]) -> Result<Vec<f64>, InterconnectError> {
+        for f in flows {
+            for p in [f.from, f.to] {
+                if p >= self.ports {
+                    return Err(InterconnectError::UnknownGpu {
+                        index: p,
+                        gpus: self.ports,
+                    });
+                }
+            }
+        }
+        let cap = self.link.effective_gbps() * 1e3; // bytes per µs
+        let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes as f64).collect();
+        let mut finish = vec![0.0f64; flows.len()];
+        let mut now = self.link.setup_us();
+        let mut active: Vec<usize> = (0..flows.len()).collect();
+
+        while !active.is_empty() {
+            // Max-min fair rates: iteratively saturate the tightest port.
+            let mut rate = vec![0.0f64; flows.len()];
+            let mut frozen = vec![false; flows.len()];
+            loop {
+                // Residual capacity and unfrozen degree per port.
+                let mut residual = vec![cap; self.ports];
+                let mut degree = vec![0usize; self.ports];
+                for &i in &active {
+                    if frozen[i] {
+                        residual[flows[i].from] -= rate[i];
+                        residual[flows[i].to] -= rate[i];
+                    } else {
+                        degree[flows[i].from] += 1;
+                        degree[flows[i].to] += 1;
+                    }
+                }
+                let bottleneck = (0..self.ports)
+                    .filter(|&p| degree[p] > 0)
+                    .map(|p| (residual[p] / degree[p] as f64, p))
+                    .min_by(|a, b| a.0.total_cmp(&b.0));
+                let Some((share, port)) = bottleneck else { break };
+                let mut changed = false;
+                for &i in &active {
+                    if !frozen[i] && (flows[i].from == port || flows[i].to == port) {
+                        rate[i] = share;
+                        frozen[i] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            // Advance to the next completion.
+            let (next_i, dt) = active
+                .iter()
+                .map(|&i| (i, remaining[i] / rate[i].max(1e-12)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("active is nonempty");
+            now += dt;
+            for &i in &active {
+                remaining[i] -= rate[i] * dt;
+            }
+            finish[next_i] = now;
+            remaining[next_i] = 0.0;
+            active.retain(|&i| i != next_i);
+        }
+        Ok(finish)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw() -> Switch {
+        Switch::new(8, Link::nvlink2_x6()).expect("nonzero ports")
+    }
+
+    #[test]
+    fn single_flow_matches_link_model() {
+        let s = sw();
+        let t = s
+            .concurrent_transfer_us(&[Flow { from: 0, to: 1, bytes: 1 << 20 }])
+            .expect("ports in range");
+        let direct = Link::nvlink2_x6().transfer_time_us(1 << 20);
+        assert!((t[0] - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_contend() {
+        let s = sw();
+        let t = s
+            .concurrent_transfer_us(&[
+                Flow { from: 0, to: 1, bytes: 1 << 24 },
+                Flow { from: 2, to: 3, bytes: 1 << 24 },
+                Flow { from: 4, to: 5, bytes: 1 << 24 },
+            ])
+            .expect("ports in range");
+        let solo = Link::nvlink2_x6().transfer_time_us(1 << 24);
+        for x in t {
+            assert!((x - solo).abs() / solo < 0.01, "{x} vs {solo}");
+        }
+    }
+
+    #[test]
+    fn shared_source_port_splits_bandwidth() {
+        let s = sw();
+        let t = s
+            .concurrent_transfer_us(&[
+                Flow { from: 0, to: 1, bytes: 1 << 26 },
+                Flow { from: 0, to: 2, bytes: 1 << 26 },
+                Flow { from: 0, to: 3, bytes: 1 << 26 },
+                Flow { from: 0, to: 4, bytes: 1 << 26 },
+            ])
+            .expect("ports in range");
+        let solo = Link::nvlink2_x6().transfer_time_us(1 << 26);
+        // Four flows from one port: each takes ~4x as long.
+        for x in &t {
+            assert!(*x > 3.5 * solo && *x < 4.5 * solo, "{x} vs {solo}");
+        }
+    }
+
+    #[test]
+    fn finished_flows_release_bandwidth() {
+        let s = sw();
+        let t = s
+            .concurrent_transfer_us(&[
+                Flow { from: 0, to: 1, bytes: 1 << 20 },      // small
+                Flow { from: 0, to: 2, bytes: 1 << 26 },      // large
+            ])
+            .expect("ports in range");
+        let solo_large = Link::nvlink2_x6().transfer_time_us(1 << 26);
+        // The large flow runs at half rate only while the small one lives.
+        assert!(t[1] < 1.2 * solo_large, "{} vs {}", t[1], solo_large);
+        assert!(t[0] < t[1]);
+    }
+
+    #[test]
+    fn bad_port_rejected() {
+        let s = sw();
+        assert!(s
+            .concurrent_transfer_us(&[Flow { from: 0, to: 8, bytes: 64 }])
+            .is_err());
+        assert!(Switch::new(0, Link::nvlink2_x6()).is_err());
+    }
+
+    #[test]
+    fn empty_flow_set() {
+        assert!(sw().concurrent_transfer_us(&[]).expect("trivially ok").is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Binary instruction encoding.
+//!
+//! The paper specifies the logical format `OpCode | InputBase | AUX |
+//! OutputBase | Count` (Fig. 8) without pinning down bit widths. We encode
+//! into five 64-bit words (40 bytes): a header word packing the opcode, the
+//! REDUCE operator, the embedding size (`vec_blocks`) and the AVERAGE group,
+//! followed by `count`, the input base, the AUX base and the output base.
+//! This is the wire format a GPU runtime would ship to the TensorNode as
+//! part of a kernel launch (Section 4.4).
+
+use crate::instruction::{Instruction, OpCode, ReduceOp};
+use crate::IsaError;
+
+/// A TensorISA instruction in wire format: five little-endian 64-bit words.
+///
+/// # Example
+///
+/// ```
+/// use tensordimm_isa::{decode, encode, Instruction, ReduceOp};
+///
+/// let instr = Instruction::Reduce {
+///     input1: 0,
+///     input2: 4096,
+///     output_base: 8192,
+///     count: 1024,
+///     op: ReduceOp::Add,
+/// };
+/// let wire = encode(&instr)?;
+/// assert_eq!(decode(&wire)?, instr);
+/// # Ok::<(), tensordimm_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EncodedInstruction {
+    words: [u64; 5],
+}
+
+impl EncodedInstruction {
+    /// The raw words (header, count, input, aux, output).
+    pub fn words(&self) -> &[u64; 5] {
+        &self.words
+    }
+
+    /// Construct from raw words (validated on [`decode`]).
+    pub fn from_words(words: [u64; 5]) -> Self {
+        EncodedInstruction { words }
+    }
+
+    /// Size of the wire format in bytes.
+    pub const BYTES: usize = 40;
+}
+
+const VEC_BLOCKS_MAX: u64 = u16::MAX as u64;
+const GROUP_MAX: u64 = u32::MAX as u64;
+
+fn header(opcode: OpCode, op: u8, vec_blocks: u64, group: u64) -> Result<u64, IsaError> {
+    if vec_blocks > VEC_BLOCKS_MAX {
+        return Err(IsaError::FieldOverflow {
+            field: "vec_blocks",
+            value: vec_blocks,
+        });
+    }
+    if group > GROUP_MAX {
+        return Err(IsaError::FieldOverflow {
+            field: "group",
+            value: group,
+        });
+    }
+    Ok(opcode.to_byte() as u64
+        | (op as u64) << 8
+        | vec_blocks << 16
+        | group << 32)
+}
+
+/// Encode an instruction into wire format.
+///
+/// # Errors
+///
+/// Returns [`IsaError::FieldOverflow`] when `vec_blocks` exceeds 16 bits or
+/// `group` exceeds 32 bits.
+pub fn encode(instr: &Instruction) -> Result<EncodedInstruction, IsaError> {
+    let words = match *instr {
+        Instruction::Gather {
+            table_base,
+            idx_base,
+            output_base,
+            count,
+            vec_blocks,
+        } => [
+            header(OpCode::Gather, 0, vec_blocks, 0)?,
+            count,
+            table_base,
+            idx_base,
+            output_base,
+        ],
+        Instruction::Reduce {
+            input1,
+            input2,
+            output_base,
+            count,
+            op,
+        } => [
+            header(OpCode::Reduce, op.to_byte(), 0, 0)?,
+            count,
+            input1,
+            input2,
+            output_base,
+        ],
+        Instruction::Average {
+            input_base,
+            output_base,
+            count,
+            group,
+            vec_blocks,
+        } => [
+            header(OpCode::Average, 0, vec_blocks, group)?,
+            count,
+            input_base,
+            0,
+            output_base,
+        ],
+    };
+    Ok(EncodedInstruction { words })
+}
+
+/// Decode a wire-format instruction.
+///
+/// # Errors
+///
+/// Returns [`IsaError::UnknownOpcode`] or [`IsaError::UnknownReduceOp`] for
+/// unassigned opcode/operator bytes.
+pub fn decode(wire: &EncodedInstruction) -> Result<Instruction, IsaError> {
+    let [head, count, input, aux, output] = wire.words;
+    let opcode = OpCode::from_byte((head & 0xff) as u8)?;
+    let op_byte = ((head >> 8) & 0xff) as u8;
+    let vec_blocks = (head >> 16) & 0xffff;
+    let group = head >> 32;
+    Ok(match opcode {
+        OpCode::Gather => Instruction::Gather {
+            table_base: input,
+            idx_base: aux,
+            output_base: output,
+            count,
+            vec_blocks,
+        },
+        OpCode::Reduce => Instruction::Reduce {
+            input1: input,
+            input2: aux,
+            output_base: output,
+            count,
+            op: ReduceOp::from_byte(op_byte)?,
+        },
+        OpCode::Average => Instruction::Average {
+            input_base: input,
+            output_base: output,
+            count,
+            group,
+            vec_blocks,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_roundtrip() {
+        let i = Instruction::Gather {
+            table_base: 123,
+            idx_base: 456,
+            output_base: 789,
+            count: 1000,
+            vec_blocks: 32,
+        };
+        assert_eq!(decode(&encode(&i).unwrap()).unwrap(), i);
+    }
+
+    #[test]
+    fn reduce_roundtrip_all_ops() {
+        for op in ReduceOp::all() {
+            let i = Instruction::Reduce {
+                input1: 1,
+                input2: 2,
+                output_base: 3,
+                count: 4,
+                op,
+            };
+            assert_eq!(decode(&encode(&i).unwrap()).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn average_roundtrip() {
+        let i = Instruction::Average {
+            input_base: 10,
+            output_base: 20,
+            count: 30,
+            group: 25,
+            vec_blocks: 32,
+        };
+        assert_eq!(decode(&encode(&i).unwrap()).unwrap(), i);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let i = Instruction::Gather {
+            table_base: 0,
+            idx_base: 0,
+            output_base: 0,
+            count: 1,
+            vec_blocks: 1 << 20,
+        };
+        assert!(matches!(
+            encode(&i),
+            Err(IsaError::FieldOverflow {
+                field: "vec_blocks",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_bytes_rejected() {
+        let mut wire = encode(&Instruction::Reduce {
+            input1: 0,
+            input2: 0,
+            output_base: 0,
+            count: 1,
+            op: ReduceOp::Add,
+        })
+        .unwrap();
+        let mut words = *wire.words();
+        words[0] = (words[0] & !0xff) | 0x7f; // bad opcode
+        wire = EncodedInstruction::from_words(words);
+        assert!(matches!(decode(&wire), Err(IsaError::UnknownOpcode(0x7f))));
+
+        let mut words = *encode(&Instruction::Reduce {
+            input1: 0,
+            input2: 0,
+            output_base: 0,
+            count: 1,
+            op: ReduceOp::Add,
+        })
+        .unwrap()
+        .words();
+        words[0] |= 0x99 << 8; // bad reduce op
+        assert!(matches!(
+            decode(&EncodedInstruction::from_words(words)),
+            Err(IsaError::UnknownReduceOp(_))
+        ));
+    }
+
+    #[test]
+    fn wire_size() {
+        assert_eq!(EncodedInstruction::BYTES, 40);
+    }
+}

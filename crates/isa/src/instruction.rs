@@ -1,0 +1,440 @@
+//! Instruction formats (paper Fig. 8).
+
+use std::fmt;
+
+use crate::IsaError;
+
+/// The three TensorISA opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpCode {
+    /// Embedding lookup.
+    Gather,
+    /// Element-wise reduction of two tensors.
+    Reduce,
+    /// Element-wise average over groups of embeddings.
+    Average,
+}
+
+impl OpCode {
+    /// Opcode byte used by the encoded format.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            OpCode::Gather => 0x01,
+            OpCode::Reduce => 0x02,
+            OpCode::Average => 0x03,
+        }
+    }
+
+    /// Parse an opcode byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UnknownOpcode`] for unassigned bytes.
+    pub fn from_byte(byte: u8) -> Result<Self, IsaError> {
+        match byte {
+            0x01 => Ok(OpCode::Gather),
+            0x02 => Ok(OpCode::Reduce),
+            0x03 => Ok(OpCode::Average),
+            other => Err(IsaError::UnknownOpcode(other)),
+        }
+    }
+}
+
+impl fmt::Display for OpCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OpCode::Gather => "GATHER",
+            OpCode::Reduce => "REDUCE",
+            OpCode::Average => "AVERAGE",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Element-wise operators supported by REDUCE.
+///
+/// The paper lists "element-wise additions/multiplications/averages/etc";
+/// average has its own instruction, and min/max cover the common pooling
+/// variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReduceOp {
+    /// Lane-wise addition (the default tensor reduction).
+    #[default]
+    Add,
+    /// Lane-wise subtraction.
+    Sub,
+    /// Lane-wise multiplication.
+    Mul,
+    /// Lane-wise minimum.
+    Min,
+    /// Lane-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Operator byte used by the encoded format.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ReduceOp::Add => 0x00,
+            ReduceOp::Sub => 0x01,
+            ReduceOp::Mul => 0x02,
+            ReduceOp::Min => 0x03,
+            ReduceOp::Max => 0x04,
+        }
+    }
+
+    /// Parse an operator byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UnknownReduceOp`] for unassigned bytes.
+    pub fn from_byte(byte: u8) -> Result<Self, IsaError> {
+        match byte {
+            0x00 => Ok(ReduceOp::Add),
+            0x01 => Ok(ReduceOp::Sub),
+            0x02 => Ok(ReduceOp::Mul),
+            0x03 => Ok(ReduceOp::Min),
+            0x04 => Ok(ReduceOp::Max),
+            other => Err(IsaError::UnknownReduceOp(other)),
+        }
+    }
+
+    /// All supported operators (useful for exhaustive tests).
+    pub fn all() -> [ReduceOp; 5] {
+        [
+            ReduceOp::Add,
+            ReduceOp::Sub,
+            ReduceOp::Mul,
+            ReduceOp::Min,
+            ReduceOp::Max,
+        ]
+    }
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ReduceOp::Add => "add",
+            ReduceOp::Sub => "sub",
+            ReduceOp::Mul => "mul",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A TensorISA instruction (paper Fig. 8: `OpCode | InputBase | AUX |
+/// OutputBase | Count`, plus our explicit embedding-size generalization).
+///
+/// All addresses and sizes are in 64-byte blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// Embedding lookup (Fig. 9a).
+    Gather {
+        /// Base block of the embedding table.
+        table_base: u64,
+        /// Base block of the index list (sixteen u32 indices per block,
+        /// replicated to every DIMM).
+        idx_base: u64,
+        /// Base block of the gathered output tensor.
+        output_base: u64,
+        /// Number of embeddings to gather.
+        count: u64,
+        /// Blocks per embedding vector (`embedding_dim * 4 / 64`).
+        vec_blocks: u64,
+    },
+    /// Element-wise reduction of two equal-shaped tensors (Fig. 9b).
+    Reduce {
+        /// Base block of the first input tensor.
+        input1: u64,
+        /// Base block of the second input tensor.
+        input2: u64,
+        /// Base block of the output tensor.
+        output_base: u64,
+        /// Total tensor size in blocks.
+        count: u64,
+        /// The element-wise operator.
+        op: ReduceOp,
+    },
+    /// Element-wise average over groups of consecutive embeddings (Fig. 9c).
+    Average {
+        /// Base block of the input tensor (`count * group` embeddings).
+        input_base: u64,
+        /// Base block of the output tensor (`count` embeddings).
+        output_base: u64,
+        /// Number of output embeddings.
+        count: u64,
+        /// Embeddings averaged per output (`averageNum`).
+        group: u64,
+        /// Blocks per embedding vector.
+        vec_blocks: u64,
+    },
+}
+
+impl Instruction {
+    /// The instruction's opcode.
+    pub fn opcode(&self) -> OpCode {
+        match self {
+            Instruction::Gather { .. } => OpCode::Gather,
+            Instruction::Reduce { .. } => OpCode::Reduce,
+            Instruction::Average { .. } => OpCode::Average,
+        }
+    }
+
+    /// Total blocks read by the full-node execution of this instruction
+    /// (including index-list blocks for GATHER).
+    pub fn blocks_read(&self) -> u64 {
+        match *self {
+            Instruction::Gather {
+                count, vec_blocks, ..
+            } => count * vec_blocks + count.div_ceil(crate::LANES as u64),
+            Instruction::Reduce { count, .. } => 2 * count,
+            Instruction::Average {
+                count,
+                group,
+                vec_blocks,
+                ..
+            } => count * group * vec_blocks,
+        }
+    }
+
+    /// Total blocks written by the full-node execution of this instruction.
+    pub fn blocks_written(&self) -> u64 {
+        match *self {
+            Instruction::Gather {
+                count, vec_blocks, ..
+            } => count * vec_blocks,
+            Instruction::Reduce { count, .. } => count,
+            Instruction::Average {
+                count, vec_blocks, ..
+            } => count * vec_blocks,
+        }
+    }
+
+    /// Total bytes moved (read + written) by the full-node execution.
+    pub fn bytes_moved(&self) -> u64 {
+        (self.blocks_read() + self.blocks_written()) * 64
+    }
+
+    /// Validate the instruction against a node of `node_dim` DIMMs.
+    ///
+    /// # Errors
+    ///
+    /// * [`IsaError::InvalidContext`] if `node_dim` is zero.
+    /// * [`IsaError::ZeroField`] if a required field is zero.
+    /// * [`IsaError::Misaligned`] if tensor bases or sizes do not divide
+    ///   evenly over the DIMMs (the rank-interleaved mapping requires
+    ///   `vec_blocks`, `count` (for REDUCE) and all tensor bases to be
+    ///   multiples of `node_dim`).
+    pub fn validate(&self, node_dim: u64) -> Result<(), IsaError> {
+        if node_dim == 0 {
+            return Err(IsaError::InvalidContext { node_dim, tid: 0 });
+        }
+        let aligned = |what: &'static str, value: u64| {
+            if !value.is_multiple_of(node_dim) {
+                Err(IsaError::Misaligned {
+                    what,
+                    value,
+                    node_dim,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            Instruction::Gather {
+                table_base,
+                output_base,
+                count,
+                vec_blocks,
+                ..
+            } => {
+                if count == 0 {
+                    return Err(IsaError::ZeroField { field: "count" });
+                }
+                if vec_blocks == 0 {
+                    return Err(IsaError::ZeroField { field: "vec_blocks" });
+                }
+                aligned("table_base", table_base)?;
+                aligned("output_base", output_base)?;
+                aligned("vec_blocks", vec_blocks)
+            }
+            Instruction::Reduce {
+                input1,
+                input2,
+                output_base,
+                count,
+                ..
+            } => {
+                if count == 0 {
+                    return Err(IsaError::ZeroField { field: "count" });
+                }
+                aligned("input1", input1)?;
+                aligned("input2", input2)?;
+                aligned("output_base", output_base)?;
+                aligned("count", count)
+            }
+            Instruction::Average {
+                input_base,
+                output_base,
+                count,
+                group,
+                vec_blocks,
+            } => {
+                if count == 0 {
+                    return Err(IsaError::ZeroField { field: "count" });
+                }
+                if group == 0 {
+                    return Err(IsaError::ZeroField { field: "group" });
+                }
+                if vec_blocks == 0 {
+                    return Err(IsaError::ZeroField { field: "vec_blocks" });
+                }
+                aligned("input_base", input_base)?;
+                aligned("output_base", output_base)?;
+                aligned("vec_blocks", vec_blocks)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Gather {
+                table_base,
+                idx_base,
+                output_base,
+                count,
+                vec_blocks,
+            } => write!(
+                f,
+                "GATHER table={table_base} idx={idx_base} out={output_base} \
+                 count={count} vec_blocks={vec_blocks}"
+            ),
+            Instruction::Reduce {
+                input1,
+                input2,
+                output_base,
+                count,
+                op,
+            } => write!(
+                f,
+                "REDUCE.{op} in1={input1} in2={input2} out={output_base} count={count}"
+            ),
+            Instruction::Average {
+                input_base,
+                output_base,
+                count,
+                group,
+                vec_blocks,
+            } => write!(
+                f,
+                "AVERAGE in={input_base} out={output_base} count={count} \
+                 group={group} vec_blocks={vec_blocks}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gather() -> Instruction {
+        Instruction::Gather {
+            table_base: 0,
+            idx_base: 64,
+            output_base: 128,
+            count: 32,
+            vec_blocks: 4,
+        }
+    }
+
+    #[test]
+    fn opcode_bytes_roundtrip() {
+        for op in [OpCode::Gather, OpCode::Reduce, OpCode::Average] {
+            assert_eq!(OpCode::from_byte(op.to_byte()).unwrap(), op);
+        }
+        assert!(OpCode::from_byte(0xaa).is_err());
+    }
+
+    #[test]
+    fn reduce_op_bytes_roundtrip() {
+        for op in ReduceOp::all() {
+            assert_eq!(ReduceOp::from_byte(op.to_byte()).unwrap(), op);
+        }
+        assert!(ReduceOp::from_byte(0x77).is_err());
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let g = gather();
+        // 32 embeddings x 4 blocks read + 2 index blocks; same written.
+        assert_eq!(g.blocks_read(), 32 * 4 + 2);
+        assert_eq!(g.blocks_written(), 32 * 4);
+        assert_eq!(g.bytes_moved(), (32 * 4 + 2 + 32 * 4) * 64);
+
+        let r = Instruction::Reduce {
+            input1: 0,
+            input2: 64,
+            output_base: 128,
+            count: 10,
+            op: ReduceOp::Add,
+        };
+        assert_eq!(r.blocks_read(), 20);
+        assert_eq!(r.blocks_written(), 10);
+
+        let a = Instruction::Average {
+            input_base: 0,
+            output_base: 512,
+            count: 4,
+            group: 8,
+            vec_blocks: 2,
+        };
+        assert_eq!(a.blocks_read(), 4 * 8 * 2);
+        assert_eq!(a.blocks_written(), 8);
+    }
+
+    #[test]
+    fn validation_catches_misalignment() {
+        let g = gather();
+        assert!(g.validate(4).is_ok());
+        assert!(matches!(
+            g.validate(8),
+            Err(IsaError::Misaligned {
+                what: "vec_blocks",
+                ..
+            })
+        ));
+        assert!(g.validate(0).is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_fields() {
+        let z = Instruction::Gather {
+            table_base: 0,
+            idx_base: 0,
+            output_base: 0,
+            count: 0,
+            vec_blocks: 4,
+        };
+        assert!(matches!(z.validate(4), Err(IsaError::ZeroField { .. })));
+        let z = Instruction::Average {
+            input_base: 0,
+            output_base: 0,
+            count: 4,
+            group: 0,
+            vec_blocks: 4,
+        };
+        assert!(matches!(z.validate(4), Err(IsaError::ZeroField { .. })));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert!(gather().to_string().starts_with("GATHER"));
+        assert_eq!(OpCode::Reduce.to_string(), "REDUCE");
+        assert_eq!(ReduceOp::Max.to_string(), "max");
+    }
+}

@@ -1,0 +1,176 @@
+//! Device execution-time models (the MKL / cuDNN substitute).
+//!
+//! DNN time is modeled per layer with a roofline:
+//! `max(flops / (peak * efficiency(batch)), weight_bytes / mem_bw)` plus a
+//! fixed kernel-dispatch overhead. GPU efficiency collapses at small batch
+//! (under-occupancy), which is what lets `CPU-only` beat `CPU-GPU` in the
+//! paper's low-batch scenarios (Fig. 4).
+
+use crate::mlp::MlpSpec;
+
+/// An execution-device model (CPU socket or GPU).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    name: &'static str,
+    /// Peak f32 throughput in TFLOP/s.
+    peak_tflops: f64,
+    /// Streaming memory bandwidth for bulk tensors, GB/s (after efficiency).
+    mem_bw_gbps: f64,
+    /// Bandwidth at which layer weights are re-read each forward pass,
+    /// GB/s. CPUs keep recommender-scale MLPs resident in the LLC, so this
+    /// is aggregate LLC bandwidth; GPUs stream from HBM.
+    weight_bw_gbps: f64,
+    /// Per-layer kernel dispatch overhead, µs.
+    kernel_overhead_us: f64,
+    /// Batch at which efficiency reaches half its asymptote.
+    half_batch: f64,
+    /// Asymptotic efficiency at large batch.
+    max_efficiency: f64,
+}
+
+impl DeviceModel {
+    /// A Skylake-SP-class Xeon socket (the DGX-1 host): ~2.2 TFLOP/s fp32
+    /// peak, 143 GB/s effective stream bandwidth, cheap dispatch, and
+    /// efficiency that saturates quickly (CPUs do not need huge batches).
+    pub fn xeon_cpu() -> Self {
+        DeviceModel {
+            name: "Xeon (host CPU)",
+            peak_tflops: 2.2,
+            mem_bw_gbps: 143.0,
+            weight_bw_gbps: 800.0,
+            kernel_overhead_us: 2.0,
+            half_batch: 2.0,
+            max_efficiency: 0.5,
+        }
+    }
+
+    /// An NVIDIA V100: 14 TFLOP/s fp32, 900 GB/s HBM2 (80 % effective),
+    /// ~5 µs kernel launches, and occupancy that needs batch to fill
+    /// 80 SMs.
+    pub fn v100_gpu() -> Self {
+        DeviceModel {
+            name: "V100 (GPU)",
+            peak_tflops: 14.0,
+            mem_bw_gbps: 720.0,
+            weight_bw_gbps: 720.0,
+            kernel_overhead_us: 5.0,
+            half_batch: 32.0,
+            max_efficiency: 0.75,
+        }
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Peak f32 TFLOP/s.
+    pub fn peak_tflops(&self) -> f64 {
+        self.peak_tflops
+    }
+
+    /// Effective weight-streaming bandwidth, GB/s.
+    pub fn mem_bw_gbps(&self) -> f64 {
+        self.mem_bw_gbps
+    }
+
+    /// Compute efficiency at a batch size (saturating curve).
+    pub fn efficiency(&self, batch: usize) -> f64 {
+        let b = batch as f64;
+        self.max_efficiency * b / (b + self.half_batch)
+    }
+
+    /// Time for one dense layer of `flops` total work and `weight_bytes`
+    /// of parameters, µs.
+    pub fn layer_time_us(&self, flops: u64, weight_bytes: u64, batch: usize) -> f64 {
+        let compute_us = flops as f64 / (self.peak_tflops * self.efficiency(batch)) / 1e6;
+        let memory_us = weight_bytes as f64 / (self.weight_bw_gbps * 1e3);
+        compute_us.max(memory_us) + self.kernel_overhead_us
+    }
+
+    /// Time for a full MLP forward pass at `batch`, µs.
+    pub fn mlp_time_us(&self, spec: &MlpSpec, batch: usize) -> f64 {
+        spec.widths()
+            .windows(2)
+            .map(|w| {
+                let flops = 2 * batch as u64 * (w[0] * w[1]) as u64;
+                let weight_bytes = ((w[0] * w[1] + w[1]) * 4) as u64;
+                self.layer_time_us(flops, weight_bytes, batch)
+            })
+            .sum()
+    }
+
+    /// Time for a pure element-wise pass over `bytes` (the tensor-op cost
+    /// when executed *on* this device rather than near memory), µs.
+    pub fn streaming_time_us(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.mem_bw_gbps * 1e3) + self.kernel_overhead_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpSpec;
+
+    fn spec() -> MlpSpec {
+        MlpSpec::new(vec![4096, 1024, 512, 1]).unwrap()
+    }
+
+    #[test]
+    fn efficiency_curves() {
+        let gpu = DeviceModel::v100_gpu();
+        assert!(gpu.efficiency(1) < 0.05);
+        assert!(gpu.efficiency(128) > 0.5);
+        let cpu = DeviceModel::xeon_cpu();
+        assert!(cpu.efficiency(1) > 0.15);
+        assert!(cpu.efficiency(64) > 0.45);
+    }
+
+    #[test]
+    fn gpu_wins_at_large_batch() {
+        let cpu = DeviceModel::xeon_cpu().mlp_time_us(&spec(), 128);
+        let gpu = DeviceModel::v100_gpu().mlp_time_us(&spec(), 128);
+        assert!(cpu > 4.0 * gpu, "cpu {cpu} gpu {gpu}");
+    }
+
+    #[test]
+    fn gpu_advantage_shrinks_at_batch_one() {
+        let cpu1 = DeviceModel::xeon_cpu().mlp_time_us(&spec(), 1);
+        let gpu1 = DeviceModel::v100_gpu().mlp_time_us(&spec(), 1);
+        let ratio1 = cpu1 / gpu1;
+        let cpu128 = DeviceModel::xeon_cpu().mlp_time_us(&spec(), 128);
+        let gpu128 = DeviceModel::v100_gpu().mlp_time_us(&spec(), 128);
+        let ratio128 = cpu128 / gpu128;
+        assert!(
+            ratio128 > 1.5 * ratio1,
+            "batch-1 ratio {ratio1} vs batch-128 ratio {ratio128}"
+        );
+    }
+
+    #[test]
+    fn layer_time_is_roofline() {
+        let gpu = DeviceModel::v100_gpu();
+        // Tiny flops, huge weights: memory bound.
+        let mem_bound = gpu.layer_time_us(1000, 1 << 30, 64);
+        assert!(mem_bound > 1000.0);
+        // Huge flops, tiny weights: compute bound.
+        let compute_bound = gpu.layer_time_us(1 << 40, 64, 64);
+        assert!(compute_bound > 100_000.0);
+    }
+
+    #[test]
+    fn streaming_time_scales_with_bytes() {
+        let gpu = DeviceModel::v100_gpu();
+        let t1 = gpu.streaming_time_us(1 << 20);
+        let t2 = gpu.streaming_time_us(1 << 24);
+        assert!(t2 > 10.0 * (t1 - 5.0).max(0.1));
+    }
+
+    #[test]
+    fn names() {
+        assert!(DeviceModel::xeon_cpu().name().contains("Xeon"));
+        assert!(DeviceModel::v100_gpu().name().contains("V100"));
+        assert!(DeviceModel::v100_gpu().peak_tflops() > 10.0);
+        assert!(DeviceModel::v100_gpu().mem_bw_gbps() > 700.0);
+    }
+}

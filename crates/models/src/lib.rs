@@ -1,0 +1,90 @@
+//! Recommender-system workload models and device compute models.
+//!
+//! The paper evaluates four DNN-based recommender systems (Table 2):
+//!
+//! | Network  | Lookup tables | Max reduction | FC/MLP layers |
+//! |----------|---------------|---------------|---------------|
+//! | NCF      | 4             | 2             | 4             |
+//! | YouTube  | 2             | 50            | 4             |
+//! | Fox      | 2             | 50            | 1             |
+//! | Facebook | 8             | 25            | 6             |
+//!
+//! with a default embedding dimension of 512 and batch sizes 1–128.
+//! [`catalog`] encodes those configurations; [`mlp`] provides both a
+//! parameter/FLOP model and a functional f32 forward pass (the cuDNN/MKL
+//! substitute); [`device`] models CPU and GPU execution time with a
+//! roofline (`max(compute, weight streaming)` + kernel overhead).
+//!
+//! # Example
+//!
+//! ```
+//! use tensordimm_models::{Workload, DeviceModel};
+//!
+//! let fb = Workload::facebook();
+//! assert_eq!(fb.tables, 8);
+//! assert_eq!(fb.lookups_per_table, 25);
+//! // Embedding traffic for one batch-64 inference:
+//! let bytes = fb.gathered_bytes(64);
+//! assert_eq!(bytes, 8 * 25 * 64 * 512 * 4);
+//! // The V100 runs the MLP far faster than the host CPU:
+//! let cpu = DeviceModel::xeon_cpu().mlp_time_us(&fb.mlp, 64);
+//! let gpu = DeviceModel::v100_gpu().mlp_time_us(&fb.mlp, 64);
+//! assert!(cpu > 5.0 * gpu);
+//! ```
+
+pub mod catalog;
+pub mod device;
+pub mod mlp;
+
+pub use catalog::{Workload, WorkloadName};
+pub use device::DeviceModel;
+pub use mlp::{Mlp, MlpSpec};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the workload models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An MLP input vector does not match the first layer width.
+    InputShape {
+        /// Provided input length.
+        got: usize,
+        /// Expected input length.
+        expected: usize,
+    },
+    /// An MLP spec has fewer than two widths.
+    DegenerateSpec {
+        /// Number of widths provided.
+        widths: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InputShape { got, expected } => {
+                write!(f, "input length {got} does not match first layer width {expected}")
+            }
+            ModelError::DegenerateSpec { widths } => {
+                write!(f, "an MLP needs at least two widths, got {widths}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(!ModelError::InputShape { got: 1, expected: 2 }
+            .to_string()
+            .is_empty());
+        assert!(!ModelError::DegenerateSpec { widths: 1 }.to_string().is_empty());
+    }
+}

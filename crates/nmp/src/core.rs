@@ -1,0 +1,500 @@
+//! The NMP core pipeline simulation.
+//!
+//! Models the life of one TensorISA instruction on one TensorDIMM:
+//!
+//! 1. the NMP-local memory controller issues the instruction's DRAM reads
+//!    in order while the input SRAM queues have space,
+//! 2. completed reads feed the vector ALU at its 150 MHz clock,
+//! 3. results drain through the output queue back to DRAM as writes.
+//!
+//! The memory side is the cycle-level simulator of [`tensordimm_dram`];
+//! the ALU and queues are the models in [`crate::alu`] and [`crate::queue`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tensordimm_dram::{MemoryStats, MemorySystem, Request, RequestKind};
+use tensordimm_isa::{AccessKind, AccessPlan, DimmContext, Instruction};
+
+use crate::alu::VectorAlu;
+use crate::mem_ctrl::LocalAddressMap;
+use crate::{NmpConfig, NmpError};
+
+/// Outcome of running one instruction slice on one DIMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NmpRunStats {
+    /// DRAM-clock cycles from issue to drain.
+    pub cycles: u64,
+    /// Local-memory statistics.
+    pub memory: MemoryStats,
+    /// Blocks read from local DRAM.
+    pub reads: u64,
+    /// Blocks written to local DRAM.
+    pub writes: u64,
+    /// Vector-ALU operations performed.
+    pub alu_ops: u64,
+    /// Cycles the read stream stalled on a full input queue.
+    pub input_stall_cycles: u64,
+    /// Cycles the write stream stalled waiting for operands or the ALU.
+    pub output_wait_cycles: u64,
+}
+
+impl NmpRunStats {
+    /// Elapsed time in nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.cycles as f64 * self.memory.timing.ns_per_cycle()
+    }
+
+    /// Achieved local bandwidth in GB/s (blocks moved over elapsed time).
+    pub fn achieved_gbps(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.reads + self.writes) as f64 * 64.0 / self.elapsed_ns()
+    }
+
+    /// Achieved / peak local bandwidth.
+    pub fn utilization(&self) -> f64 {
+        let peak = self.memory.peak_gbps();
+        if peak == 0.0 {
+            0.0
+        } else {
+            self.achieved_gbps() / peak
+        }
+    }
+}
+
+/// One TensorDIMM's NMP core: local DRAM + queues + vector ALU.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct NmpCore {
+    config: NmpConfig,
+}
+
+impl NmpCore {
+    /// Build a core, validating its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NmpError::Dram`] for an invalid local-DRAM configuration or
+    /// [`NmpError::QueueTooSmall`] for queues below one 64-byte entry.
+    pub fn new(config: NmpConfig) -> Result<Self, NmpError> {
+        config.dram.validate()?;
+        if config.input_queue_entries() == 0 {
+            return Err(NmpError::QueueTooSmall {
+                bytes: config.input_queue_bytes,
+            });
+        }
+        if config.output_queue_entries() == 0 {
+            return Err(NmpError::QueueTooSmall {
+                bytes: config.output_queue_bytes,
+            });
+        }
+        Ok(NmpCore { config })
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &NmpConfig {
+        &self.config
+    }
+
+    /// Execute `ctx.tid`'s slice of `instr` and report timing statistics.
+    ///
+    /// `indices` carries the runtime index values for GATHER (ignored for
+    /// the other opcodes). The simulation is timing-only; pair it with
+    /// [`tensordimm_isa::execute_on_dimm`] for the functional result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instruction-validation and DRAM-configuration errors.
+    pub fn run_instruction(
+        &mut self,
+        instr: &Instruction,
+        ctx: DimmContext,
+        indices: Option<&[u64]>,
+    ) -> Result<NmpRunStats, NmpError> {
+        let plan = AccessPlan::for_dimm(instr, ctx, indices)?;
+        self.run_plan(instr, &plan, ctx)
+    }
+
+    /// Replay `ctx.tid`'s slice of `instr` through the local DRAM without
+    /// modeling the SRAM queues or the vector ALU — the methodology of the
+    /// paper's cycle-level evaluation (Section 5), which feeds op traces
+    /// into Ramulator and measures pure DRAM bandwidth utilization.
+    ///
+    /// Use [`NmpCore::run_instruction`] for the full pipeline model; use
+    /// this for apples-to-apples reproduction of Figs. 11–12.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instruction-validation and DRAM-configuration errors.
+    pub fn replay_instruction(
+        &mut self,
+        instr: &Instruction,
+        ctx: DimmContext,
+        indices: Option<&[u64]>,
+    ) -> Result<NmpRunStats, NmpError> {
+        let plan = AccessPlan::for_dimm(instr, ctx, indices)?;
+        let map = LocalAddressMap::new(ctx.node_dim, ctx.tid);
+        let memory = MemorySystem::new(self.config.dram.clone())?;
+        let trace = map.lower_plan(&plan, self.config.dram.capacity_bytes());
+        let mut runner = tensordimm_dram::TraceRunner::new(memory);
+        let stats = runner.run(&trace)?;
+        Ok(NmpRunStats {
+            cycles: stats.totals.cycles,
+            reads: stats.totals.reads,
+            writes: stats.totals.writes,
+            alu_ops: 0,
+            input_stall_cycles: 0,
+            output_wait_cycles: 0,
+            memory: stats,
+        })
+    }
+
+    /// Execute a pre-computed access plan (used by the node-level runtime,
+    /// which shares one plan across symmetric DIMMs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NmpError::Dram`] if the local memory cannot be constructed.
+    pub fn run_plan(
+        &mut self,
+        instr: &Instruction,
+        plan: &AccessPlan,
+        ctx: DimmContext,
+    ) -> Result<NmpRunStats, NmpError> {
+        let map = LocalAddressMap::new(ctx.node_dim, ctx.tid);
+        let mut memory = MemorySystem::new(self.config.dram.clone())?;
+        let capacity = self.config.dram.capacity_bytes();
+        let mut alu = VectorAlu::new(
+            self.config.alu_clock_mhz,
+            self.config.dram.timing.clock_mhz,
+        );
+        let alu_ops_per_write: u64 = match instr {
+            Instruction::Gather { .. } => 0, // forwarded input -> output
+            Instruction::Reduce { .. } => 1,
+            Instruction::Average { group, .. } => group + 1,
+        };
+
+        // Split the plan into an ordered read stream and an ordered write
+        // stream; each write records how many reads precede it (its operand
+        // dependences are a subset of that prefix).
+        let mut reads: Vec<u64> = Vec::with_capacity(plan.len());
+        let mut writes: Vec<(u64, u64)> = Vec::new(); // (local addr, required reads)
+        for access in plan {
+            let local = map
+                .local_byte_addr(access.block)
+                .unwrap_or_else(|| map.replicated_byte_addr(access.block))
+                % capacity;
+            match access.kind {
+                AccessKind::Read => reads.push(local),
+                AccessKind::Write => writes.push((local, reads.len() as u64)),
+            }
+        }
+
+        let input_capacity = 2 * self.config.input_queue_entries(); // A and B
+        let output_capacity = self.config.output_queue_entries();
+
+        let mut read_pos = 0usize;
+        let mut write_pos = 0usize;
+        let mut reads_retired: u64 = 0;
+        let mut read_done_times: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+        let mut pending_write_ready: Option<f64> = None;
+        let mut input_stall_cycles = 0u64;
+        let mut output_wait_cycles = 0u64;
+        // The output (C) queue drains into the controller's write queue: a
+        // result occupies SRAM only until the controller accepts it (posted
+        // write), so back-pressure comes from the controller's queue depth
+        // via `push` returning false. The SRAM capacity itself bounds how
+        // far the ALU may run ahead of controller acceptance — with the
+        // one-write-per-ALU-op issue discipline below, that window is the
+        // single `pending_write_ready` slot plus `output_capacity` entries
+        // already handed over, which the controller depth dominates.
+        let _ = output_capacity;
+
+        while read_pos < reads.len() || write_pos < writes.len() || memory.is_busy() {
+            let now = memory.cycle();
+
+            // Retire finished reads (frees input SRAM-queue entries).
+            while let Some(&Reverse(t)) = read_done_times.peek() {
+                if t <= now {
+                    read_done_times.pop();
+                    reads_retired += 1;
+                } else {
+                    break;
+                }
+            }
+
+            // Issue the next read while the input queues have space.
+            // Outstanding = issued to the controller but not yet retired.
+            if read_pos < reads.len() {
+                if read_pos as u64 - reads_retired < input_capacity as u64 {
+                    let req = Request::read(reads[read_pos]).with_id(read_pos as u64);
+                    if memory
+                        .push(req)
+                        .expect("lowered addresses are in range")
+                    {
+                        read_pos += 1;
+                    }
+                } else {
+                    input_stall_cycles += 1;
+                }
+            }
+
+            // Issue the next write once its operands arrived and the ALU
+            // (if involved) has produced the result.
+            if write_pos < writes.len() {
+                let (addr, required) = writes[write_pos];
+                if reads_retired >= required {
+                    let ready = *pending_write_ready.get_or_insert_with(|| {
+                        if alu_ops_per_write == 0 {
+                            now as f64
+                        } else {
+                            alu.issue(now as f64, alu_ops_per_write)
+                        }
+                    });
+                    if (now as f64) >= ready {
+                        if memory
+                            .push(Request::write(addr))
+                            .expect("lowered addresses are in range")
+                        {
+                            write_pos += 1;
+                            pending_write_ready = None;
+                        }
+                    } else {
+                        output_wait_cycles += 1;
+                    }
+                } else {
+                    output_wait_cycles += 1;
+                }
+            }
+
+            // Register newly issued read bursts' completion times.
+            for completion in memory.drain_completions() {
+                if completion.request.kind == RequestKind::Read {
+                    read_done_times.push(Reverse(completion.finished_at));
+                }
+            }
+
+            memory.tick();
+        }
+
+        let stats = memory.stats();
+        Ok(NmpRunStats {
+            cycles: memory.cycle(),
+            reads: stats.totals.reads,
+            writes: stats.totals.writes,
+            alu_ops: alu.ops(),
+            input_stall_cycles,
+            output_wait_cycles,
+            memory: stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensordimm_isa::ReduceOp;
+
+    fn no_refresh() -> NmpConfig {
+        let mut c = NmpConfig::paper();
+        c.dram.refresh_enabled = false;
+        c
+    }
+
+    fn reduce(count: u64) -> Instruction {
+        Instruction::Reduce {
+            input1: 0,
+            input2: 1 << 20,
+            output_base: 1 << 21,
+            count,
+            op: ReduceOp::Add,
+        }
+    }
+
+    #[test]
+    fn reduce_streams_near_local_peak() {
+        let mut core = NmpCore::new(no_refresh()).unwrap();
+        let stats = core
+            .run_instruction(&reduce(32 * 1024), DimmContext::new(32, 0), None)
+            .unwrap();
+        // 2 reads + 1 write per op, all sequential locally: expect >70% of
+        // the 25.6 GB/s local channel.
+        assert!(
+            stats.utilization() > 0.7,
+            "utilization {:.3}",
+            stats.utilization()
+        );
+        assert_eq!(stats.reads, 2 * 1024);
+        assert_eq!(stats.writes, 1024);
+        assert_eq!(stats.alu_ops, 1024);
+    }
+
+    #[test]
+    fn gather_has_no_alu_ops() {
+        let mut core = NmpCore::new(no_refresh()).unwrap();
+        let indices: Vec<u64> = (0..256).map(|i| (i * 37) % 1024).collect();
+        let g = Instruction::Gather {
+            table_base: 0,
+            idx_base: 1 << 22,
+            output_base: 1 << 23,
+            count: indices.len() as u64,
+            vec_blocks: 32,
+        };
+        let stats = core
+            .run_instruction(&g, DimmContext::new(32, 3), Some(&indices))
+            .unwrap();
+        assert_eq!(stats.alu_ops, 0);
+        // One block per embedding on this DIMM plus index blocks.
+        assert_eq!(stats.reads, 256 + 16);
+        assert_eq!(stats.writes, 256);
+    }
+
+    #[test]
+    fn average_alu_ops_scale_with_group() {
+        let mut core = NmpCore::new(no_refresh()).unwrap();
+        let a = Instruction::Average {
+            input_base: 0,
+            output_base: 1 << 22,
+            count: 64,
+            group: 8,
+            vec_blocks: 32,
+        };
+        let stats = core
+            .run_instruction(&a, DimmContext::new(32, 0), None)
+            .unwrap();
+        // 64 outputs x 1 owned block each x (8 accumulates + 1 scale).
+        assert_eq!(stats.alu_ops, 64 * 9);
+        assert_eq!(stats.reads, 64 * 8);
+        assert_eq!(stats.writes, 64);
+    }
+
+    #[test]
+    fn tiny_queues_hurt_bandwidth() {
+        let mut fast = NmpCore::new(no_refresh()).unwrap();
+        let mut slow_cfg = no_refresh();
+        slow_cfg.input_queue_bytes = 64; // one entry
+        slow_cfg.output_queue_bytes = 64;
+        let mut slow = NmpCore::new(slow_cfg).unwrap();
+        let instr = reduce(32 * 512);
+        let ctx = DimmContext::new(32, 0);
+        let f = fast.run_instruction(&instr, ctx, None).unwrap();
+        let s = slow.run_instruction(&instr, ctx, None).unwrap();
+        assert!(
+            f.achieved_gbps() > s.achieved_gbps() * 1.3,
+            "queue sizing had no effect: fast {:.2} vs slow {:.2}",
+            f.achieved_gbps(),
+            s.achieved_gbps()
+        );
+    }
+
+    #[test]
+    fn zero_entry_queue_rejected() {
+        let mut cfg = NmpConfig::paper();
+        cfg.input_queue_bytes = 32;
+        assert!(matches!(
+            NmpCore::new(cfg),
+            Err(NmpError::QueueTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_unit_conversions() {
+        let mut core = NmpCore::new(no_refresh()).unwrap();
+        let stats = core
+            .run_instruction(&reduce(32 * 64), DimmContext::new(32, 0), None)
+            .unwrap();
+        assert!(stats.elapsed_ns() > 0.0);
+        assert!(stats.achieved_gbps() > 0.0);
+        assert!(stats.utilization() <= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod stall_tests {
+    use super::*;
+    use tensordimm_isa::ReduceOp;
+
+    #[test]
+    fn tiny_queues_report_input_stalls() {
+        let mut cfg = NmpConfig::paper();
+        cfg.dram.refresh_enabled = false;
+        cfg.input_queue_bytes = 64;
+        let mut core = NmpCore::new(cfg).unwrap();
+        let r = Instruction::Reduce {
+            input1: 0,
+            input2: 1 << 16,
+            output_base: 1 << 17,
+            count: 32 * 256,
+            op: ReduceOp::Add,
+        };
+        let stats = core
+            .run_instruction(&r, DimmContext::new(32, 0), None)
+            .unwrap();
+        assert!(
+            stats.input_stall_cycles > stats.cycles / 10,
+            "one-entry queues should stall the read stream: {} of {}",
+            stats.input_stall_cycles,
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn replay_reports_no_pipeline_stalls() {
+        let mut core = NmpCore::new(NmpConfig::paper()).unwrap();
+        let r = Instruction::Reduce {
+            input1: 0,
+            input2: 1 << 16,
+            output_base: 1 << 17,
+            count: 32 * 64,
+            op: ReduceOp::Add,
+        };
+        let stats = core
+            .replay_instruction(&r, DimmContext::new(32, 0), None)
+            .unwrap();
+        assert_eq!(stats.input_stall_cycles, 0);
+        assert_eq!(stats.output_wait_cycles, 0);
+        assert_eq!(stats.alu_ops, 0, "replay does not model the ALU");
+        assert_eq!(stats.reads, 2 * 64);
+        assert_eq!(stats.writes, 64);
+    }
+
+    #[test]
+    fn slower_alu_lengthens_average_not_gather() {
+        let gather_idx: Vec<u64> = (0..256).map(|i| i * 3 % 1024).collect();
+        let gather = Instruction::Gather {
+            table_base: 0,
+            idx_base: 1 << 20,
+            output_base: 1 << 21,
+            count: 256,
+            vec_blocks: 32,
+        };
+        let average = Instruction::Average {
+            input_base: 0,
+            output_base: 1 << 21,
+            count: 64,
+            group: 25,
+            vec_blocks: 32,
+        };
+        let run = |mhz: u64, instr: &Instruction, idx: Option<&[u64]>| {
+            let mut cfg = NmpConfig::paper();
+            cfg.dram.refresh_enabled = false;
+            cfg.alu_clock_mhz = mhz;
+            NmpCore::new(cfg)
+                .unwrap()
+                .run_instruction(instr, DimmContext::new(32, 0), idx)
+                .unwrap()
+                .cycles
+        };
+        // GATHER bypasses the ALU entirely: clock is irrelevant.
+        let g_slow = run(10, &gather, Some(&gather_idx));
+        let g_fast = run(1600, &gather, Some(&gather_idx));
+        assert_eq!(g_slow, g_fast);
+        // AVERAGE funnels group+1 blocks per output through the ALU.
+        let a_slow = run(75, &average, None);
+        let a_fast = run(1600, &average, None);
+        assert!(a_slow > 2 * a_fast, "slow {a_slow} vs fast {a_fast}");
+    }
+}

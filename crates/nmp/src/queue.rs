@@ -1,0 +1,147 @@
+//! SRAM staging queues.
+//!
+//! The buffer device holds three small SRAM queues (Section 4.2): two input
+//! queues (A and B) staging data read out of the DRAM chips, and one output
+//! queue (C) staging ALU results until the NMP-local memory controller
+//! drains them back to DRAM. Their size follows the bandwidth-delay
+//! product of the local channel (25.6 GB/s × 20 ns = 512 B).
+
+/// An occupancy-tracking model of one SRAM queue (64-byte entries).
+///
+/// The queue does not hold data — the functional path lives in the ISA
+/// executor — it models back-pressure: a full input queue stalls DRAM reads
+/// and a full output queue stalls the ALU.
+///
+/// # Example
+///
+/// ```
+/// use tensordimm_nmp::SramQueue;
+///
+/// let mut q = SramQueue::new(512); // eight 64-byte entries
+/// assert_eq!(q.capacity(), 8);
+/// assert!(q.push());
+/// assert_eq!(q.occupancy(), 1);
+/// assert!(q.pop());
+/// assert!(!q.pop());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SramQueue {
+    capacity: usize,
+    occupancy: usize,
+    peak_occupancy: usize,
+    pushes: u64,
+    full_rejections: u64,
+}
+
+impl SramQueue {
+    /// A queue of `bytes / 64` entries.
+    pub fn new(bytes: usize) -> Self {
+        SramQueue {
+            capacity: bytes / 64,
+            occupancy: 0,
+            peak_occupancy: 0,
+            pushes: 0,
+            full_rejections: 0,
+        }
+    }
+
+    /// Capacity in 64-byte entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy in entries.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Highest occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Whether the queue is full.
+    pub fn is_full(&self) -> bool {
+        self.occupancy >= self.capacity
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.occupancy == 0
+    }
+
+    /// Successful pushes so far.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Pushes rejected because the queue was full.
+    pub fn full_rejections(&self) -> u64 {
+        self.full_rejections
+    }
+
+    /// Stage one entry; returns `false` (and counts a rejection) when full.
+    pub fn push(&mut self) -> bool {
+        if self.is_full() {
+            self.full_rejections += 1;
+            return false;
+        }
+        self.occupancy += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.occupancy);
+        self.pushes += 1;
+        true
+    }
+
+    /// Drain one entry; returns `false` when empty.
+    pub fn pop(&mut self) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        self.occupancy -= 1;
+        true
+    }
+
+    /// Reset occupancy and statistics.
+    pub fn reset(&mut self) {
+        self.occupancy = 0;
+        self.peak_occupancy = 0;
+        self.pushes = 0;
+        self.full_rejections = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_from_bytes() {
+        assert_eq!(SramQueue::new(512).capacity(), 8);
+        assert_eq!(SramQueue::new(100).capacity(), 1);
+        assert_eq!(SramQueue::new(63).capacity(), 0);
+    }
+
+    #[test]
+    fn fill_and_drain() {
+        let mut q = SramQueue::new(128);
+        assert!(q.push());
+        assert!(q.push());
+        assert!(!q.push(), "third push must fail on 2-entry queue");
+        assert_eq!(q.full_rejections(), 1);
+        assert_eq!(q.peak_occupancy(), 2);
+        assert!(q.pop());
+        assert!(q.push(), "space after pop");
+        assert_eq!(q.pushes(), 3);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut q = SramQueue::new(128);
+        q.push();
+        q.push();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.pushes(), 0);
+        assert_eq!(q.peak_occupancy(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Per-phase latency breakdown (the Fig. 13 quantities).
+
+/// Latency of one inference split into the paper's four phases.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseBreakdown {
+    /// Embedding lookup (gather + any near-data pooling), µs.
+    pub lookup_us: f64,
+    /// Embedding copy to the GPU (`cudaMemcpy`), µs.
+    pub transfer_us: f64,
+    /// DNN computation (including on-device pooling where applicable), µs.
+    pub dnn_us: f64,
+    /// Everything else (feature prep, launches, framework), µs.
+    pub other_us: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total inference latency, µs.
+    pub fn total_us(&self) -> f64 {
+        self.lookup_us + self.transfer_us + self.dnn_us + self.other_us
+    }
+
+    /// The four phases as labeled fractions of the total (the stacked-bar
+    /// form of Fig. 13).
+    pub fn fractions(&self) -> [(&'static str, f64); 4] {
+        let t = self.total_us().max(f64::MIN_POSITIVE);
+        [
+            ("Embedding lookup", self.lookup_us / t),
+            ("cudaMemcpy", self.transfer_us / t),
+            ("Computation", self.dnn_us / t),
+            ("Else", self.other_us / t),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let b = PhaseBreakdown {
+            lookup_us: 10.0,
+            transfer_us: 20.0,
+            dnn_us: 60.0,
+            other_us: 10.0,
+        };
+        assert!((b.total_us() - 100.0).abs() < 1e-12);
+        let f = b.fractions();
+        assert_eq!(f[0].0, "Embedding lookup");
+        assert!((f[2].1 - 0.6).abs() < 1e-12);
+        let sum: f64 = f.iter().map(|(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_safe() {
+        let b = PhaseBreakdown::default();
+        assert_eq!(b.total_us(), 0.0);
+        let f = b.fractions();
+        assert!(f.iter().all(|(_, v)| v.is_finite()));
+    }
+}

@@ -1,0 +1,430 @@
+//! The latency model for the five design points.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use tensordimm_cache::{GatherModel, GatherWorkload};
+use tensordimm_interconnect::{Device, Topology};
+use tensordimm_models::{DeviceModel, Workload};
+
+use crate::breakdown::PhaseBreakdown;
+use crate::design::DesignPoint;
+
+/// All the calibration knobs of the system model.
+///
+/// Bandwidth-efficiency constants default to values measured on this
+/// repository's own cycle-level DRAM simulator (see `EXPERIMENTS.md`);
+/// device and link constants are the published numbers the paper uses.
+#[derive(Debug, Clone)]
+pub struct SystemModelConfig {
+    /// Host CPU execution model.
+    pub cpu: DeviceModel,
+    /// GPU execution model.
+    pub gpu: DeviceModel,
+    /// Interconnect topology (PCIe + NVLINK/NVSwitch).
+    pub topology: Topology,
+    /// CPU cache-hierarchy gather model.
+    pub cpu_gather: GatherModel,
+    /// Popularity skew of inference traffic.
+    pub zipf_s: f64,
+    /// Lookups simulated per cache-model evaluation.
+    pub gather_sim_lookups: usize,
+    /// TensorNode aggregate peak bandwidth, GB/s (819.2 for Table 1).
+    pub node_peak_gbps: f64,
+    /// Fraction of node peak achieved on random gathers (measured on the
+    /// DRAM simulator).
+    pub node_gather_utilization: f64,
+    /// Fraction of node peak achieved on streaming reduce/average.
+    pub node_stream_utilization: f64,
+    /// GPU HBM2 bandwidth, GB/s.
+    pub gpu_hbm_gbps: f64,
+    /// Fraction of HBM peak achieved on GPU-local gathers.
+    pub gpu_gather_utilization: f64,
+    /// Fraction of node peak achieved by PMEM's NMP-less remote reads.
+    pub pmem_read_utilization: f64,
+    /// Model the TensorNode's gather+pool as a fused near-memory pass
+    /// (one table read + one pooled write), matching the paper's Fig. 5
+    /// timing model. `false` charges the unfused three-pass ISA sequence
+    /// (GATHER write-back + AVERAGE re-read) for ablation.
+    pub fused_gather_pool: bool,
+    /// Per-TensorISA-instruction dispatch overhead on the TDIMM path, µs
+    /// (runtime encode + broadcast + completion sync; one GATHER and one
+    /// AVERAGE per table per inference).
+    pub node_op_overhead_us: f64,
+    /// Fixed per-inference framework overhead, µs.
+    pub other_fixed_us: f64,
+    /// Per-sample framework overhead, µs.
+    pub other_per_sample_us: f64,
+}
+
+impl SystemModelConfig {
+    /// The paper's system: DGX-1V-like host/GPU/links, Table 1 TensorNode,
+    /// simulator-measured DRAM efficiencies.
+    pub fn paper_defaults() -> Self {
+        SystemModelConfig {
+            cpu: DeviceModel::xeon_cpu(),
+            gpu: DeviceModel::v100_gpu(),
+            topology: Topology::dgx_like(8),
+            cpu_gather: GatherModel::xeon_like(),
+            zipf_s: 0.9,
+            gather_sim_lookups: 2000,
+            node_peak_gbps: 819.2,
+            node_gather_utilization: 0.87,
+            node_stream_utilization: 0.95,
+            gpu_hbm_gbps: 900.0,
+            gpu_gather_utilization: 0.85,
+            pmem_read_utilization: 0.87,
+            fused_gather_pool: true,
+            node_op_overhead_us: 1.5,
+            other_fixed_us: 10.0,
+            other_per_sample_us: 0.1,
+        }
+    }
+}
+
+/// Evaluates inference latency for (workload, batch, design point).
+///
+/// CPU gather bandwidths are produced by the cache-hierarchy simulator and
+/// memoized per (table footprint, embedding size).
+#[derive(Debug, Clone)]
+pub struct SystemModel {
+    config: SystemModelConfig,
+    cpu_bw_cache: RefCell<HashMap<(u64, u64), f64>>,
+}
+
+impl SystemModel {
+    /// Build from a configuration.
+    pub fn new(config: SystemModelConfig) -> Self {
+        SystemModel {
+            config,
+            cpu_bw_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The paper-default model.
+    pub fn paper_defaults() -> Self {
+        SystemModel::new(SystemModelConfig::paper_defaults())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemModelConfig {
+        &self.config
+    }
+
+    /// Replace the topology (Fig. 16's link-bandwidth knob).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.config.topology = topology;
+        self
+    }
+
+    /// Effective CPU gather bandwidth for a workload, GB/s (memoized
+    /// cache-hierarchy simulation).
+    pub fn cpu_gather_gbps(&self, workload: &Workload) -> f64 {
+        let key = (workload.table_footprint_bytes(), workload.embedding_bytes());
+        if let Some(&bw) = self.cpu_bw_cache.borrow().get(&key) {
+            return bw;
+        }
+        let bw = self.config.cpu_gather.effective_bandwidth_gbps(&GatherWorkload {
+            table_bytes: key.0,
+            embedding_bytes: key.1,
+            lookups: self.config.gather_sim_lookups,
+            zipf_s: self.config.zipf_s,
+            seed: 0x7d1,
+        });
+        self.cpu_bw_cache.borrow_mut().insert(key, bw);
+        bw
+    }
+
+    /// Per-phase latency of one inference.
+    pub fn evaluate(
+        &self,
+        workload: &Workload,
+        batch: usize,
+        design: DesignPoint,
+    ) -> PhaseBreakdown {
+        let cfg = &self.config;
+        let gathered = workload.gathered_bytes(batch);
+        let pooled = workload.pooled_bytes(batch);
+        let other_us = cfg.other_fixed_us + cfg.other_per_sample_us * batch as f64;
+        let us_per_byte = |gbps: f64| 1.0 / (gbps * 1e3);
+
+        match design {
+            DesignPoint::CpuOnly => {
+                let gather_us = gathered as f64 * us_per_byte(self.cpu_gather_gbps(workload));
+                // Pooling runs on the CPU over the gathered tensor.
+                let pool_us = cfg.cpu.streaming_time_us(gathered + pooled);
+                PhaseBreakdown {
+                    lookup_us: gather_us + pool_us,
+                    transfer_us: 0.0,
+                    dnn_us: cfg.cpu.mlp_time_us(&workload.mlp, batch),
+                    other_us,
+                }
+            }
+            DesignPoint::CpuGpu => {
+                let gather_us = gathered as f64 * us_per_byte(self.cpu_gather_gbps(workload));
+                let transfer_us = self
+                    .config
+                    .topology
+                    .transfer_time_us(Device::Cpu, Device::Gpu(0), gathered)
+                    .expect("CPU->GPU route exists in a DGX-like topology");
+                // Pooling happens on the GPU after the copy.
+                let dnn_us = cfg.gpu.streaming_time_us(gathered + pooled)
+                    + cfg.gpu.mlp_time_us(&workload.mlp, batch);
+                PhaseBreakdown {
+                    lookup_us: gather_us,
+                    transfer_us,
+                    dnn_us,
+                    other_us,
+                }
+            }
+            DesignPoint::Pmem => {
+                // Pooled memory without NMP: raw gathered embeddings are
+                // read from the node's DIMMs and cross NVLINK; the GPU pools.
+                let lookup_us = gathered as f64
+                    * us_per_byte(cfg.node_peak_gbps * cfg.pmem_read_utilization);
+                let transfer_us = self
+                    .config
+                    .topology
+                    .transfer_time_us(Device::TensorNode, Device::Gpu(0), gathered)
+                    .expect("node->GPU route exists in a DGX-like topology");
+                let dnn_us = cfg.gpu.streaming_time_us(gathered + pooled)
+                    + cfg.gpu.mlp_time_us(&workload.mlp, batch);
+                PhaseBreakdown {
+                    lookup_us,
+                    transfer_us,
+                    dnn_us,
+                    other_us,
+                }
+            }
+            DesignPoint::Tdimm => {
+                // Fused (the paper's Fig. 5 model): one pass reads the
+                // gathered embeddings from the tables and writes the pooled
+                // tensor. Unfused: GATHER writes the gathered tensor back
+                // and AVERAGE re-reads it.
+                let (gather_us, pool_us) = if cfg.fused_gather_pool {
+                    (
+                        gathered as f64
+                            * us_per_byte(cfg.node_peak_gbps * cfg.node_gather_utilization),
+                        pooled as f64
+                            * us_per_byte(cfg.node_peak_gbps * cfg.node_stream_utilization),
+                    )
+                } else {
+                    (
+                        2.0 * gathered as f64
+                            * us_per_byte(cfg.node_peak_gbps * cfg.node_gather_utilization),
+                        (gathered + pooled) as f64
+                            * us_per_byte(cfg.node_peak_gbps * cfg.node_stream_utilization),
+                    )
+                };
+                let transfer_us = self
+                    .config
+                    .topology
+                    .transfer_time_us(Device::TensorNode, Device::Gpu(0), pooled)
+                    .expect("node->GPU route exists in a DGX-like topology");
+                // One GATHER + one AVERAGE instruction per table.
+                let dispatch_us = 2.0 * workload.tables as f64 * cfg.node_op_overhead_us;
+                PhaseBreakdown {
+                    lookup_us: gather_us + pool_us + dispatch_us,
+                    transfer_us,
+                    dnn_us: cfg.gpu.mlp_time_us(&workload.mlp, batch),
+                    other_us,
+                }
+            }
+            DesignPoint::GpuOnly => {
+                // Oracle: gather + pool directly in HBM.
+                let lookup_us = (gathered + pooled) as f64
+                    * us_per_byte(cfg.gpu_hbm_gbps * cfg.gpu_gather_utilization)
+                    + 5.0; // one fused-kernel launch
+                PhaseBreakdown {
+                    lookup_us,
+                    transfer_us: 0.0,
+                    dnn_us: cfg.gpu.mlp_time_us(&workload.mlp, batch),
+                    other_us,
+                }
+            }
+        }
+    }
+
+    /// `total(b) / total(a)`: how many times faster design `a` is.
+    pub fn speedup(
+        &self,
+        workload: &Workload,
+        batch: usize,
+        a: DesignPoint,
+        b: DesignPoint,
+    ) -> f64 {
+        self.evaluate(workload, batch, b).total_us() / self.evaluate(workload, batch, a).total_us()
+    }
+
+    /// Performance normalized to the GPU-only oracle (the y-axis of
+    /// Figs. 4 and 14): `total(GpuOnly) / total(design)`, 1.0 = oracle.
+    pub fn normalized(&self, workload: &Workload, batch: usize, design: DesignPoint) -> f64 {
+        self.speedup(workload, batch, design, DesignPoint::GpuOnly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SystemModel {
+        SystemModel::paper_defaults()
+    }
+
+    #[test]
+    fn oracle_is_fastest_at_batch() {
+        let m = model();
+        for w in Workload::all() {
+            let oracle = m.evaluate(&w, 64, DesignPoint::GpuOnly).total_us();
+            for d in [DesignPoint::CpuOnly, DesignPoint::CpuGpu, DesignPoint::Pmem, DesignPoint::Tdimm] {
+                assert!(
+                    m.evaluate(&w, 64, d).total_us() >= oracle * 0.999,
+                    "{d} beat the oracle on {}",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tdimm_beats_pmem_beats_cpugpu() {
+        let m = model();
+        for w in Workload::all() {
+            let t = m.evaluate(&w, 64, DesignPoint::Tdimm).total_us();
+            let p = m.evaluate(&w, 64, DesignPoint::Pmem).total_us();
+            let h = m.evaluate(&w, 64, DesignPoint::CpuGpu).total_us();
+            // NCF's reduction factor is only 2, so TDIMM and PMEM are a
+            // near-tie there (as in the paper's Fig. 14); everywhere else
+            // TDIMM must win outright.
+            assert!(t < p * 1.02, "{}: TDIMM {t} vs PMEM {p}", w.name);
+            assert!(p < h, "{}: PMEM {p} vs CPU-GPU {h}", w.name);
+        }
+    }
+
+    #[test]
+    fn cpu_only_wins_at_batch_one_for_ncf() {
+        // The Fig. 4 crossover: at batch 1 the PCIe copy + GPU
+        // under-occupancy make the hybrid slower than staying on the CPU.
+        let m = model();
+        let w = Workload::ncf();
+        let cpu = m.evaluate(&w, 1, DesignPoint::CpuOnly).total_us();
+        let hybrid = m.evaluate(&w, 1, DesignPoint::CpuGpu).total_us();
+        assert!(cpu < hybrid, "cpu {cpu} hybrid {hybrid}");
+        // And loses at large batch.
+        let cpu = m.evaluate(&w, 128, DesignPoint::CpuOnly).total_us();
+        let hybrid = m.evaluate(&w, 128, DesignPoint::CpuGpu).total_us();
+        assert!(cpu > hybrid, "cpu {cpu} hybrid {hybrid}");
+    }
+
+    #[test]
+    fn tdimm_transfer_shrinks_by_reduction_factor() {
+        let m = model();
+        let w = Workload::youtube(); // reduction factor 50
+        let tdimm = m.evaluate(&w, 64, DesignPoint::Tdimm);
+        let pmem = m.evaluate(&w, 64, DesignPoint::Pmem);
+        // Setup latencies keep it from exactly 50x, but it must be large.
+        assert!(
+            pmem.transfer_us > 10.0 * tdimm.transfer_us,
+            "pmem {} tdimm {}",
+            pmem.transfer_us,
+            tdimm.transfer_us
+        );
+    }
+
+    #[test]
+    fn breakdown_phases_match_design_structure() {
+        let m = model();
+        let w = Workload::facebook();
+        assert_eq!(m.evaluate(&w, 64, DesignPoint::CpuOnly).transfer_us, 0.0);
+        assert_eq!(m.evaluate(&w, 64, DesignPoint::GpuOnly).transfer_us, 0.0);
+        assert!(m.evaluate(&w, 64, DesignPoint::CpuGpu).transfer_us > 0.0);
+        assert!(m.evaluate(&w, 64, DesignPoint::Tdimm).transfer_us > 0.0);
+    }
+
+    #[test]
+    fn speedup_and_normalized_are_consistent() {
+        let m = model();
+        let w = Workload::fox();
+        let s = m.speedup(&w, 64, DesignPoint::Tdimm, DesignPoint::CpuOnly);
+        assert!(s > 1.0);
+        let n = m.normalized(&w, 64, DesignPoint::Tdimm);
+        assert!((0.0..=1.001).contains(&n));
+    }
+
+    #[test]
+    fn cpu_bandwidth_is_memoized() {
+        let m = model();
+        let w = Workload::facebook();
+        let a = m.cpu_gather_gbps(&w);
+        let b = m.cpu_gather_gbps(&w);
+        assert_eq!(a, b);
+        assert!(a > 1.0 && a < 204.8, "cpu gather bw {a}");
+    }
+
+    #[test]
+    fn larger_embeddings_widen_the_gap() {
+        // Fig. 15's trend: scaling embeddings up makes TDIMM's advantage
+        // over CPU-GPU grow.
+        let m = model();
+        let base = Workload::facebook();
+        let big = base.scaled_embeddings(8);
+        let s_base = m.speedup(&base, 64, DesignPoint::Tdimm, DesignPoint::CpuGpu);
+        let s_big = m.speedup(&big, 64, DesignPoint::Tdimm, DesignPoint::CpuGpu);
+        assert!(s_big > s_base, "base {s_base} scaled {s_big}");
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+    use tensordimm_models::Workload;
+
+    #[test]
+    fn unfused_config_slows_tdimm_only() {
+        let fused = SystemModel::paper_defaults();
+        let unfused = SystemModel::new(SystemModelConfig {
+            fused_gather_pool: false,
+            ..SystemModelConfig::paper_defaults()
+        });
+        let w = Workload::youtube();
+        let t_f = fused.evaluate(&w, 64, DesignPoint::Tdimm).total_us();
+        let t_u = unfused.evaluate(&w, 64, DesignPoint::Tdimm).total_us();
+        assert!(t_u > t_f, "unfused {t_u} should exceed fused {t_f}");
+        // Non-NMP designs are untouched by the fusion knob.
+        for d in [DesignPoint::CpuOnly, DesignPoint::CpuGpu, DesignPoint::Pmem, DesignPoint::GpuOnly] {
+            assert_eq!(
+                fused.evaluate(&w, 64, d).total_us(),
+                unfused.evaluate(&w, 64, d).total_us(),
+                "{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_overhead_scales_with_tables() {
+        let model = SystemModel::paper_defaults();
+        let few = Workload::youtube(); // 2 tables
+        let many = Workload::facebook(); // 8 tables
+        let overhead = model.config().node_op_overhead_us;
+        let few_dispatch = 2.0 * few.tables as f64 * overhead;
+        let many_dispatch = 2.0 * many.tables as f64 * overhead;
+        assert!(many_dispatch == 4.0 * few_dispatch);
+        // And it is visible in the lookup phase.
+        let zero = SystemModel::new(SystemModelConfig {
+            node_op_overhead_us: 0.0,
+            ..SystemModelConfig::paper_defaults()
+        });
+        let with = model.evaluate(&many, 64, DesignPoint::Tdimm).lookup_us;
+        let without = zero.evaluate(&many, 64, DesignPoint::Tdimm).lookup_us;
+        assert!((with - without - many_dispatch).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_one_is_overhead_dominated_for_tdimm() {
+        let model = SystemModel::paper_defaults();
+        let w = Workload::ncf();
+        let b = model.evaluate(&w, 1, DesignPoint::Tdimm);
+        // At batch 1, fixed costs outweigh the streaming terms.
+        assert!(b.other_us + b.transfer_us + b.dnn_us > b.lookup_us);
+    }
+}

@@ -1,0 +1,170 @@
+//! Multi-GPU serving throughput: several GPUs sharing one TensorNode.
+//!
+//! The paper's system (Fig. 6c) hangs the TensorNode off the GPU-side
+//! NVSwitch, which is non-blocking except at shared endpoints — and the
+//! node's own port *is* shared when several GPUs run inference against the
+//! same embedding pool. This module combines the per-inference latency
+//! model with the crossbar contention model to estimate node-level
+//! serving throughput, quantifying the paper's argument that NMP
+//! reduction (shipping pooled instead of gathered tensors) is what lets a
+//! single node feed many GPUs.
+
+use tensordimm_interconnect::{Flow, InterconnectError, Switch};
+use tensordimm_models::Workload;
+
+use crate::design::DesignPoint;
+use crate::model::SystemModel;
+
+/// Throughput of `gpus` GPUs concurrently serving one workload from a
+/// shared TensorNode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingReport {
+    /// GPUs sharing the node.
+    pub gpus: usize,
+    /// Per-inference latency seen by each GPU, µs (compute/lookup phases
+    /// plus the contended transfer).
+    pub latency_us: f64,
+    /// Aggregate inferences per second across all GPUs.
+    pub inferences_per_sec: f64,
+    /// Whether the node's switch port is the bottleneck.
+    pub port_bound: bool,
+}
+
+/// Estimate node-sharing throughput for a design point.
+///
+/// Only `Pmem` and `Tdimm` read from the node; other designs are rejected.
+///
+/// # Errors
+///
+/// Returns [`InterconnectError::InvalidLink`] (via [`Switch::new`]) for a
+/// zero-GPU configuration, and [`InterconnectError::NoRoute`] when the
+/// design point does not use the TensorNode.
+pub fn node_sharing(
+    model: &SystemModel,
+    workload: &Workload,
+    batch: usize,
+    design: DesignPoint,
+    gpus: usize,
+) -> Result<ServingReport, InterconnectError> {
+    if !matches!(design, DesignPoint::Pmem | DesignPoint::Tdimm) {
+        return Err(InterconnectError::NoRoute {
+            from: tensordimm_interconnect::Device::TensorNode,
+            to: tensordimm_interconnect::Device::Cpu,
+        });
+    }
+    if gpus == 0 {
+        return Err(InterconnectError::InvalidLink { parameter: "gpus" });
+    }
+    let link = model.config().topology.gpu_link().clone();
+    let switch = Switch::new(gpus + 1, link)?;
+    let bytes = match design {
+        DesignPoint::Tdimm => workload.pooled_bytes(batch),
+        _ => workload.gathered_bytes(batch),
+    };
+    // All GPUs pull their transfer from node port 0 concurrently.
+    let flows: Vec<Flow> = (0..gpus)
+        .map(|g| Flow {
+            from: 0,
+            to: g + 1,
+            bytes,
+        })
+        .collect();
+    let contended_transfer_us = switch
+        .concurrent_transfer_us(&flows)?
+        .into_iter()
+        .fold(0.0f64, f64::max);
+
+    let solo = model.evaluate(workload, batch, design);
+    let other_phases_us = solo.lookup_us + solo.dnn_us + solo.other_us;
+    // The node-side lookup phase is also shared: N GPUs' gathers divide the
+    // node's internal bandwidth.
+    let shared_lookup_us = solo.lookup_us * gpus as f64;
+    // Per-GPU latency: its own compute + the contended transfer; the
+    // node-internal phases pipeline across GPUs, so the effective per-round
+    // latency is whichever shared resource saturates first.
+    let latency_us = (other_phases_us + contended_transfer_us)
+        .max(shared_lookup_us + solo.dnn_us + solo.other_us);
+    let port_bound = contended_transfer_us > shared_lookup_us;
+    Ok(ServingReport {
+        gpus,
+        latency_us,
+        inferences_per_sec: gpus as f64 / (latency_us * 1e-6),
+        port_bound,
+    })
+}
+
+/// Sweep GPU counts for one design.
+///
+/// # Errors
+///
+/// Same conditions as [`node_sharing`].
+pub fn sharing_sweep(
+    model: &SystemModel,
+    workload: &Workload,
+    batch: usize,
+    design: DesignPoint,
+    gpu_counts: &[usize],
+) -> Result<Vec<ServingReport>, InterconnectError> {
+    gpu_counts
+        .iter()
+        .map(|&g| node_sharing(model, workload, batch, design, g))
+        .collect()
+}
+
+// Re-exported so callers don't need a direct interconnect dependency.
+pub use tensordimm_interconnect::InterconnectError as ServingError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SystemModel;
+
+    #[test]
+    fn tdimm_scales_to_more_gpus_than_pmem() {
+        let model = SystemModel::paper_defaults();
+        let w = Workload::facebook();
+        let tdimm = sharing_sweep(&model, &w, 64, DesignPoint::Tdimm, &[1, 8, 16])
+            .expect("valid designs");
+        let pmem = sharing_sweep(&model, &w, 64, DesignPoint::Pmem, &[1, 8, 16])
+            .expect("valid designs");
+        // Throughput at 16 GPUs relative to 1 GPU: TDIMM keeps scaling,
+        // PMEM saturates on the node port.
+        let tdimm_scaling = tdimm[2].inferences_per_sec / tdimm[0].inferences_per_sec;
+        let pmem_scaling = pmem[2].inferences_per_sec / pmem[0].inferences_per_sec;
+        assert!(
+            tdimm_scaling > 1.5 * pmem_scaling,
+            "tdimm {tdimm_scaling:.1}x vs pmem {pmem_scaling:.1}x"
+        );
+        assert!(pmem[2].port_bound, "PMEM at 16 GPUs should be port-bound");
+    }
+
+    #[test]
+    fn throughput_grows_monotonically_for_tdimm_small_counts() {
+        let model = SystemModel::paper_defaults();
+        let w = Workload::youtube();
+        let reports = sharing_sweep(&model, &w, 64, DesignPoint::Tdimm, &[1, 2, 4])
+            .expect("valid designs");
+        assert!(reports[1].inferences_per_sec > reports[0].inferences_per_sec);
+        assert!(reports[2].inferences_per_sec > reports[1].inferences_per_sec);
+    }
+
+    #[test]
+    fn non_node_designs_rejected() {
+        let model = SystemModel::paper_defaults();
+        let w = Workload::ncf();
+        for d in [DesignPoint::CpuOnly, DesignPoint::CpuGpu, DesignPoint::GpuOnly] {
+            assert!(node_sharing(&model, &w, 64, d, 4).is_err(), "{d}");
+        }
+        assert!(node_sharing(&model, &w, 64, DesignPoint::Tdimm, 0).is_err());
+    }
+
+    #[test]
+    fn report_consistency() {
+        let model = SystemModel::paper_defaults();
+        let w = Workload::fox();
+        let r = node_sharing(&model, &w, 64, DesignPoint::Tdimm, 4).expect("valid");
+        assert_eq!(r.gpus, 4);
+        assert!(r.latency_us > 0.0);
+        assert!((r.inferences_per_sec - 4.0 / (r.latency_us * 1e-6)).abs() < 1e-6);
+    }
+}

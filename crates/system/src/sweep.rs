@@ -1,0 +1,135 @@
+//! Sweep helpers for the figure harnesses.
+
+use tensordimm_models::Workload;
+
+use crate::design::DesignPoint;
+use crate::model::SystemModel;
+
+/// One evaluated point of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Workload name.
+    pub workload: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Design point.
+    pub design: DesignPoint,
+    /// Total inference latency, µs.
+    pub total_us: f64,
+    /// Performance normalized to GPU-only (1.0 = oracle).
+    pub normalized: f64,
+}
+
+/// Geometric mean of positive values (the paper's summary statistic).
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// use tensordimm_system::geometric_mean;
+///
+/// assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// assert_eq!(geometric_mean(&[]), 0.0);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Evaluate every (workload × batch × design) combination, normalized to
+/// the GPU-only oracle — the data behind Figs. 4 and 14.
+pub fn normalized_performance(
+    model: &SystemModel,
+    workloads: &[Workload],
+    batches: &[usize],
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for w in workloads {
+        for &batch in batches {
+            for design in DesignPoint::all() {
+                out.push(SweepPoint {
+                    workload: w.name.to_string(),
+                    batch,
+                    design,
+                    total_us: model.evaluate(w, batch, design).total_us(),
+                    normalized: model.normalized(w, batch, design),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Average TDIMM speedups over the two baselines for embedding scales —
+/// the data behind Fig. 15. Returns rows of
+/// `(scale factor, batch, speedup vs CPU-only, speedup vs CPU-GPU)`,
+/// each geometric-mean'd across `workloads`.
+pub fn speedup_matrix(
+    model: &SystemModel,
+    workloads: &[Workload],
+    scales: &[usize],
+    batches: &[usize],
+) -> Vec<(usize, usize, f64, f64)> {
+    let mut rows = Vec::new();
+    for &scale in scales {
+        for &batch in batches {
+            let mut vs_cpu = Vec::new();
+            let mut vs_hybrid = Vec::new();
+            for w in workloads {
+                let scaled = w.scaled_embeddings(scale);
+                vs_cpu.push(model.speedup(&scaled, batch, DesignPoint::Tdimm, DesignPoint::CpuOnly));
+                vs_hybrid.push(model.speedup(&scaled, batch, DesignPoint::Tdimm, DesignPoint::CpuGpu));
+            }
+            rows.push((
+                scale,
+                batch,
+                geometric_mean(&vs_cpu),
+                geometric_mean(&vs_hybrid),
+            ));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let model = SystemModel::paper_defaults();
+        let workloads = [Workload::ncf(), Workload::fox()];
+        let points = normalized_performance(&model, &workloads, &[8, 64]);
+        assert_eq!(points.len(), 2 * 2 * 5);
+        for p in &points {
+            assert!(p.total_us > 0.0);
+            assert!(p.normalized > 0.0 && p.normalized <= 1.001, "{p:?}");
+        }
+        // Oracle rows normalize to 1.
+        assert!(points
+            .iter()
+            .filter(|p| p.design == DesignPoint::GpuOnly)
+            .all(|p| (p.normalized - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn speedups_grow_with_scale() {
+        let model = SystemModel::paper_defaults();
+        let workloads = Workload::all();
+        let rows = speedup_matrix(&model, &workloads, &[1, 4], &[64]);
+        assert_eq!(rows.len(), 2);
+        let (_, _, cpu1, hybrid1) = rows[0];
+        let (_, _, cpu4, hybrid4) = rows[1];
+        assert!(cpu4 > cpu1, "vs cpu: {cpu1} -> {cpu4}");
+        assert!(hybrid4 > hybrid1, "vs hybrid: {hybrid1} -> {hybrid4}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Multiple GPUs sharing one TensorNode: when does the node's NVSwitch
+//! port saturate?
+//!
+//! The paper attaches the TensorNode as one endpoint of the GPU-side
+//! switch (Fig. 6c). With NMP reduction, each inference ships only the
+//! pooled tensor, so one node port sustains many concurrent GPUs; without
+//! it (PMEM), raw gathered embeddings saturate the port almost
+//! immediately.
+//!
+//! Run with: `cargo run --release --example multi_gpu_sharing`
+
+use tensordimm::interconnect::{Flow, Link, Switch};
+use tensordimm::models::Workload;
+
+const NODE_PORT: usize = 0;
+const BATCH: usize = 64;
+
+fn serve(gpus: usize, bytes_per_inference: u64, switch: &Switch) -> f64 {
+    // Every GPU pulls one inference's embedding payload from the node
+    // concurrently; the slowest flow gates the round.
+    let flows: Vec<Flow> = (0..gpus)
+        .map(|g| Flow {
+            from: NODE_PORT,
+            to: g + 1,
+            bytes: bytes_per_inference,
+        })
+        .collect();
+    let times = switch
+        .concurrent_transfer_us(&flows)
+        .expect("ports in range");
+    times.into_iter().fold(0.0, f64::max)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let switch = Switch::new(17, Link::nvlink2_x6())?; // node + 16 GPUs (DGX-2)
+    let w = Workload::facebook();
+    let pooled = w.pooled_bytes(BATCH); // TDIMM ships this
+    let gathered = w.gathered_bytes(BATCH); // PMEM ships this
+
+    println!(
+        "Facebook workload, batch {BATCH}: pooled {} KiB vs gathered {} KiB per inference",
+        pooled / 1024,
+        gathered / 1024
+    );
+    println!();
+    println!(
+        "{:>5} | {:>16} {:>18} | {:>16} {:>18}",
+        "GPUs", "TDIMM round (us)", "TDIMM inf/s/node", "PMEM round (us)", "PMEM inf/s/node"
+    );
+    for gpus in [1usize, 2, 4, 8, 16] {
+        let t_tdimm = serve(gpus, pooled, &switch);
+        let t_pmem = serve(gpus, gathered, &switch);
+        println!(
+            "{:>5} | {:>16.1} {:>18.0} | {:>16.1} {:>18.0}",
+            gpus,
+            t_tdimm,
+            gpus as f64 / (t_tdimm * 1e-6),
+            t_pmem,
+            gpus as f64 / (t_pmem * 1e-6)
+        );
+    }
+    println!();
+    println!(
+        "The x{} communication compression of near-memory reduction is what \
+         lets one TensorNode feed a whole DGX-2's worth of GPUs.",
+        w.reduction_factor()
+    );
+    Ok(())
+}

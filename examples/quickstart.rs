@@ -1,0 +1,69 @@
+//! Quickstart: stand up a TensorNode, store an embedding table, and run
+//! the three TensorISA operations with per-op timing reports.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tensordimm::core::{ReduceOp, TensorNode, TensorNodeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Table 1 node: 32 TensorDIMMs of DDR4-3200, 819.2 GB/s.
+    let mut node = TensorNode::new(TensorNodeConfig::paper())?;
+    println!(
+        "TensorNode: {} TensorDIMMs, {:.1} GB/s aggregate, {:.0} W",
+        node.dimms(),
+        node.peak_gbps(),
+        node.power_watts()
+    );
+
+    // An embedding table: 10k users, dimension 512 (2 KiB vectors).
+    let users = node.create_table("users", 10_000, 512)?;
+    node.fill_table(&users, |row, col| (row as f32).sin() + col as f32 * 1e-3)?;
+    println!(
+        "table 'users': {} rows x dim {} = {:.1} MiB in the pool",
+        users.rows(),
+        users.dim(),
+        users.stored_bytes() as f64 / (1 << 20) as f64
+    );
+
+    // GATHER a batch of 64 lookups, 8 pooled per sample (multi-hot).
+    let indices: Vec<u64> = (0..512u64).map(|i| (i * 37) % 10_000).collect();
+    let gathered = node.gather(&users, &indices)?;
+    print_last(&node, "GATHER");
+
+    // AVERAGE pools each group of 8 into one embedding.
+    let pooled = node.average(&gathered, 8)?;
+    print_last(&node, "AVERAGE");
+
+    // REDUCE combines the pooled tensor with itself element-wise.
+    let combined = node.reduce(&pooled, &pooled, ReduceOp::Add)?;
+    print_last(&node, "REDUCE");
+
+    // Ship the result to a GPU over NVLINK and read it back on the host.
+    let link = tensordimm::interconnect::Link::nvlink2_x6();
+    let transfer = node.copy_to_gpu(&combined, &link);
+    println!(
+        "NVLINK transfer: {} KiB in {:.1} us ({:.1} GB/s)",
+        transfer.bytes / 1024,
+        transfer.time_us,
+        transfer.achieved_gbps
+    );
+
+    let host = node.read_tensor(&combined)?;
+    println!(
+        "result tensor: {} vectors x dim {} (first value {:.4})",
+        combined.count(),
+        combined.dim(),
+        host[0]
+    );
+    Ok(())
+}
+
+fn print_last(node: &TensorNode, what: &str) {
+    let report = node.last_report().expect("an op just ran");
+    println!(
+        "{what}: {} blocks moved, {:.1} us near-memory, {:.0} GB/s across the node",
+        report.exec.blocks_read + report.exec.blocks_written,
+        report.elapsed_ns().unwrap_or(0.0) / 1e3,
+        report.node_gbps().unwrap_or(0.0),
+    );
+}

@@ -1,0 +1,93 @@
+//! End-to-end recommender inference (the paper's Fig. 2 pipeline),
+//! functionally executed on the TensorNode, then compared across the five
+//! system design points.
+//!
+//! Run with: `cargo run --release --example recommender_inference`
+
+use tensordimm::core::{TensorNode, TensorNodeConfig};
+use tensordimm::embedding::{Distribution, IndexStream};
+use tensordimm::models::{Mlp, Workload};
+use tensordimm::system::{DesignPoint, SystemModel};
+
+const BATCH: usize = 16;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Facebook-style workload (Table 2): 8 tables, 25 lookups pooled per
+    // table per sample. We scale the tables down so the functional demo
+    // stays fast; traffic per inference is shape-identical.
+    let workload = Workload::facebook();
+    let rows = 8_000u64;
+
+    println!(
+        "workload {}: {} tables x {} lookups/sample, dim {}",
+        workload.name, workload.tables, workload.lookups_per_table, workload.embedding_dim
+    );
+
+    // ---- Step 1+2 (Fig. 2): embedding lookups + tensor manipulation,
+    // near-memory on the TensorNode via the embedding-layer runtime API.
+    let mut node = TensorNode::new(TensorNodeConfig::paper().with_pool_blocks(1 << 22))?;
+    let mut stream = IndexStream::new(Distribution::Zipfian { s: 0.9 }, rows, 99);
+    let mut tables = Vec::new();
+    let mut indices_per_table = Vec::new();
+    for t in 0..workload.tables {
+        let table = node.create_table(&format!("table{t}"), rows, workload.embedding_dim)?;
+        node.fill_table(&table, move |r, c| {
+            ((r * 31 + c as u64 * 7 + t as u64) % 1000) as f32 / 1000.0
+        })?;
+        tables.push(table);
+        indices_per_table.push(stream.multi_hot(BATCH, workload.lookups_per_table));
+    }
+    let features_handle = node.embedding_layer(
+        &tables,
+        &indices_per_table,
+        workload.lookups_per_table as u64,
+    )?;
+    let near_memory_us: f64 = node
+        .reports()
+        .iter()
+        .filter_map(|r| r.elapsed_ns())
+        .sum::<f64>()
+        / 1e3;
+    let energy_uj: f64 = node
+        .reports()
+        .iter()
+        .filter_map(|r| r.energy())
+        .map(|e| e.total_nj() / 1e3)
+        .sum();
+    println!(
+        "near-memory embedding layer: {} TensorISA instructions, {:.1} us, {:.1} uJ simulated",
+        node.reports().len(),
+        near_memory_us,
+        energy_uj
+    );
+
+    // ---- Step 3 (Fig. 2): feature interaction + DNN on the GPU.
+    let features = node.read_features(&features_handle, workload.tables as u64)?;
+    let mlp = Mlp::seeded(workload.mlp.clone(), 2024);
+    let scores = mlp.forward_batch(&features)?;
+    println!(
+        "CTR scores for {} samples: min {:.4}, max {:.4}",
+        BATCH,
+        scores.iter().cloned().fold(f64::INFINITY as f32, f32::min),
+        scores.iter().cloned().fold(0.0f32, f32::max)
+    );
+
+    // ---- How would this inference perform on each system design?
+    println!();
+    println!("modeled end-to-end latency at production scale (batch 64, 5M-row tables):");
+    let model = SystemModel::paper_defaults();
+    let oracle = model.evaluate(&workload, 64, DesignPoint::GpuOnly).total_us();
+    for design in DesignPoint::all() {
+        let b = model.evaluate(&workload, 64, design);
+        println!(
+            "  {:>9}: {:>8.1} us  (lookup {:>7.1}, copy {:>7.1}, dnn {:>6.1})  {:>5.2}x vs oracle",
+            design.label(),
+            b.total_us(),
+            b.lookup_us,
+            b.transfer_us,
+            b.dnn_us,
+            b.total_us() / oracle
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # TensorDIMM
+//!
+//! A from-scratch Rust reproduction of **"TensorDIMM: A Practical
+//! Near-Memory Processing Architecture for Embeddings and Tensor Operations
+//! in Deep Learning"** (Kwon, Lee & Rhu — MICRO-52, 2019).
+//!
+//! This facade crate re-exports every subsystem of the reproduction:
+//!
+//! * [`dram`] — cycle-level DDR4 simulator (the Ramulator substitute),
+//! * [`isa`] — the TensorISA (`GATHER` / `REDUCE` / `AVERAGE`),
+//! * [`nmp`] — the near-memory-processing core in the DIMM buffer device,
+//! * [`core`] — `TensorDimm` devices, the `TensorNode` pooled-memory system
+//!   and its runtime (the paper's primary contribution),
+//! * [`cache`] — CPU cache-hierarchy model for the baseline,
+//! * [`interconnect`] — PCIe / NVLINK / NVSwitch transfer models,
+//! * [`embedding`] — embedding tables, index generators, golden tensor ops,
+//! * [`models`] — the four recommender workloads of Table 2 plus device
+//!   compute models,
+//! * [`system`] — the five end-to-end design points (`CPU-only`, `CPU-GPU`,
+//!   `PMEM`, `TDIMM`, `GPU-only`) evaluated in the paper.
+//!
+//! # Quickstart
+//!
+//! Gather and reduce embeddings near-memory on a 32-DIMM TensorNode:
+//!
+//! ```
+//! use tensordimm::core::{TensorNode, TensorNodeConfig, ReduceOp};
+//!
+//! let mut node = TensorNode::new(TensorNodeConfig::default())?;
+//! let table = node.create_table("users", 1024, 128)?;
+//! node.fill_table(&table, |row, col| row as f32 + col as f32)?;
+//!
+//! let gathered = node.gather(&table, &[3, 5, 7, 9])?;
+//! let pairwise = node.reduce(&gathered, &gathered, ReduceOp::Add)?;
+//! let host = node.read_tensor(&pairwise)?;
+//! assert_eq!(host.len(), 4 * 128);
+//! # Ok::<(), tensordimm::core::CoreError>(())
+//! ```
+//!
+//! See `examples/` for end-to-end recommender-inference scenarios and
+//! `crates/bench` for the binaries regenerating every table and figure of
+//! the paper.
+
+pub use tensordimm_cache as cache;
+pub use tensordimm_core as core;
+pub use tensordimm_dram as dram;
+pub use tensordimm_embedding as embedding;
+pub use tensordimm_interconnect as interconnect;
+pub use tensordimm_isa as isa;
+pub use tensordimm_models as models;
+pub use tensordimm_nmp as nmp;
+pub use tensordimm_system as system;

@@ -4,7 +4,7 @@
 //!
 //! * one binary per table/figure of the paper (`src/bin/fig*.rs`,
 //!   `src/bin/tab*.rs`) — run them with
-//!   `cargo run --release -p tensordimm-bench --bin <name>`,
+//!   `cargo run --release -p tensordimm_bench --bin <name>`,
 //! * Criterion micro-benchmarks (`benches/`) over the functional kernels,
 //!   the DRAM simulator and the end-to-end system model,
 //! * shared output helpers in [`table`].

@@ -1,13 +1,21 @@
 //! Minimal fixed-width table printing for the figure binaries.
 
-/// Print a header row followed by a rule.
-pub fn header(columns: &[(&str, usize)]) {
+/// Format a header row and its rule without printing (testable core of
+/// [`header`]).
+pub fn format_header(columns: &[(&str, usize)]) -> (String, String) {
     let mut line = String::new();
     for (name, width) in columns {
         line.push_str(&format!("{name:>width$}  "));
     }
+    let rule = "-".repeat(line.len().min(120));
+    (line, rule)
+}
+
+/// Print a header row followed by a rule.
+pub fn header(columns: &[(&str, usize)]) {
+    let (line, rule) = format_header(columns);
     println!("{line}");
-    println!("{}", "-".repeat(line.len().min(120)));
+    println!("{rule}");
 }
 
 /// Format a float with engineering-friendly precision.
@@ -33,5 +41,32 @@ mod tests {
         assert_eq!(num(12345.6), "12346");
         assert_eq!(num(42.42), "42.4");
         assert_eq!(num(1.234), "1.23");
+        assert_eq!(num(-1.234), "-1.23");
+        assert_eq!(num(-12345.6), "-12346");
+    }
+
+    #[test]
+    fn header_columns_are_right_aligned_at_width() {
+        let cols = [("op", 8), ("GB/s", 10), ("x", 6)];
+        let (line, rule) = format_header(&cols);
+        // Each column occupies exactly its width plus the two-space gutter.
+        let mut offset = 0;
+        for (name, width) in cols {
+            let cell = &line[offset..offset + width];
+            assert_eq!(cell.trim_start(), name);
+            assert!(cell.ends_with(name), "{name:?} not right-aligned in {cell:?}");
+            assert_eq!(&line[offset + width..offset + width + 2], "  ");
+            offset += width + 2;
+        }
+        assert_eq!(line.len(), offset);
+        assert_eq!(rule.len(), line.len());
+        assert!(rule.chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn header_rule_caps_at_120() {
+        let (line, rule) = format_header(&[("wide", 200)]);
+        assert!(line.len() > 120);
+        assert_eq!(rule.len(), 120);
     }
 }

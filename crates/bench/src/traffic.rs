@@ -192,4 +192,53 @@ mod tests {
         assert_eq!(padded_vec_blocks(40, 32), 64);
         assert_eq!(padded_vec_blocks(64, 128), 128);
     }
+
+    #[test]
+    fn gather_indices_deterministic_per_seed() {
+        let a = gather_indices(&exp(OpKind::Gather));
+        let b = gather_indices(&exp(OpKind::Gather));
+        assert_eq!(a, b, "same seed must replay the same index stream");
+
+        let mut other = exp(OpKind::Gather);
+        other.seed += 1;
+        assert_ne!(a, gather_indices(&other), "different seed, different stream");
+    }
+
+    #[test]
+    fn gather_indices_shape_is_uniformish() {
+        let mut e = exp(OpKind::Gather);
+        e.count = 10_000;
+        let idx = gather_indices(&e);
+        assert_eq!(idx.len(), e.count as usize);
+        assert!(idx.iter().all(|&i| i < e.table_rows), "index out of range");
+        // Uniform draw: each quartile of the table should get roughly a
+        // quarter of the traffic (loose 15%..35% band).
+        let quarter = e.table_rows / 4;
+        for q in 0..4 {
+            let hits = idx.iter().filter(|&&i| (i / quarter).min(3) == q).count();
+            let share = hits as f64 / idx.len() as f64;
+            assert!(
+                (0.15..0.35).contains(&share),
+                "quartile {q} got {share:.3} of the traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_results_deterministic_per_seed() {
+        // A small experiment keeps the double cycle-level replay cheap.
+        let e = OpExperiment {
+            op: OpKind::Gather,
+            count: 64,
+            vec_blocks: 8,
+            table_rows: 10_000,
+            seed: 5,
+        };
+        assert_eq!(
+            tensornode_gbps(&e, 32).to_bits(),
+            tensornode_gbps(&e, 32).to_bits(),
+            "cycle-level replay must be bit-reproducible"
+        );
+        assert_eq!(cpu_gbps(&e, 8, 4).to_bits(), cpu_gbps(&e, 8, 4).to_bits());
+    }
 }

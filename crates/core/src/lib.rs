@@ -20,10 +20,14 @@
 //!
 //! # Example
 //!
+//! The doctest runs on the 4-DIMM [`TensorNodeConfig::small`] node so the
+//! suite stays fast; `TensorNodeConfig::default()` gives the paper's
+//! 32-DIMM Table 1 configuration.
+//!
 //! ```
 //! use tensordimm_core::{ReduceOp, TensorNode, TensorNodeConfig};
 //!
-//! let mut node = TensorNode::new(TensorNodeConfig::default())?;
+//! let mut node = TensorNode::new(TensorNodeConfig::small())?;
 //! let table = node.create_table("users", 1024, 128)?;
 //! node.fill_table(&table, |row, col| row as f32 + col as f32)?;
 //!

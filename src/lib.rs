@@ -21,12 +21,17 @@
 //!
 //! # Quickstart
 //!
-//! Gather and reduce embeddings near-memory on a 32-DIMM TensorNode:
+//! Gather and reduce embeddings near-memory on a TensorNode. The doctest
+//! uses the 4-DIMM [`TensorNodeConfig::small`] so it stays fast and
+//! deterministic; swap in `TensorNodeConfig::default()` for the paper's
+//! full 32-DIMM Table 1 node.
+//!
+//! [`TensorNodeConfig::small`]: crate::core::TensorNodeConfig::small
 //!
 //! ```
 //! use tensordimm::core::{TensorNode, TensorNodeConfig, ReduceOp};
 //!
-//! let mut node = TensorNode::new(TensorNodeConfig::default())?;
+//! let mut node = TensorNode::new(TensorNodeConfig::small())?;
 //! let table = node.create_table("users", 1024, 128)?;
 //! node.fill_table(&table, |row, col| row as f32 + col as f32)?;
 //!

@@ -1,0 +1,48 @@
+//! Workspace smoke test: the documented quickstart flow must keep working.
+//!
+//! `cargo test` also compiles everything under `examples/`, so together
+//! with this test the documented entry points cannot silently rot. CI
+//! additionally runs `examples/quickstart.rs` itself (release mode) — this
+//! test mirrors its exact operation sequence on the small 4-DIMM node so
+//! the flow is exercised on every `cargo test -q`, not just in CI.
+
+use tensordimm::core::{ReduceOp, TensorNode, TensorNodeConfig};
+use tensordimm::interconnect::Link;
+
+#[test]
+fn quickstart_flow_runs_to_completion() {
+    let mut node =
+        TensorNode::new(TensorNodeConfig::small()).expect("small config is valid");
+    assert_eq!(node.dimms(), 4);
+    assert!(node.peak_gbps() > 0.0);
+    assert!(node.power_watts() > 0.0);
+
+    let users = node.create_table("users", 1000, 64).expect("fits the small pool");
+    node.fill_table(&users, |row, col| (row as f32).sin() + col as f32 * 1e-3)
+        .expect("table was just created");
+    assert_eq!(users.rows(), 1000);
+    assert_eq!(users.dim(), 64);
+
+    let indices: Vec<u64> = (0..64u64).map(|i| (i * 37) % 1000).collect();
+    let gathered = node.gather(&users, &indices).expect("indices in range");
+    let report = node.last_report().expect("an op just ran");
+    assert!(report.exec.blocks_read + report.exec.blocks_written > 0);
+
+    let pooled = node.average(&gathered, 8).expect("64 is divisible by 8");
+    let combined = node
+        .reduce(&pooled, &pooled, ReduceOp::Add)
+        .expect("shapes match");
+
+    let transfer = node.copy_to_gpu(&combined, &Link::nvlink2_x6());
+    assert!(transfer.bytes > 0);
+    assert!(transfer.time_us > 0.0);
+
+    let host = node.read_tensor(&combined).expect("tensor is live");
+    assert_eq!(host.len(), combined.count() as usize * combined.dim() as usize);
+    // REDUCE(Add) of the pooled tensor with itself doubles every element.
+    let expected0 = {
+        let pooled_host = node.read_tensor(&pooled).expect("tensor is live");
+        2.0 * pooled_host[0]
+    };
+    assert!((host[0] - expected0).abs() < 1e-5);
+}

@@ -1,0 +1,185 @@
+//! The case runner behind the [`proptest!`] macro.
+
+pub use rand::rngs::StdRng as Prng;
+pub use rand::SeedableRng;
+
+/// Per-block configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` was violated — the case is skipped, not failed.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Stable 64-bit FNV-1a, used to derive a per-test seed from its name so
+/// every machine replays the identical case stream.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Declare a block of property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng: $crate::test_runner::Prng =
+                <$crate::test_runner::Prng as $crate::test_runner::SeedableRng>::seed_from_u64(__seed);
+            let ( $( $arg, )* ) = ( $( $strat, )* );
+            // Like real proptest, a prop_assume! rejection does not consume
+            // the case budget: rejected draws are replaced with fresh ones,
+            // up to a global cap that catches over-restrictive assumptions.
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __config.cases.saturating_mul(10).max(1000);
+            while __passed < __config.cases {
+                assert!(
+                    __attempts < __max_attempts,
+                    "proptest: gave up after {} draws with only {}/{} cases \
+                     accepted — prop_assume! rejects too much",
+                    __attempts, __passed, __config.cases
+                );
+                __attempts += 1;
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&$arg, &mut __rng);
+                )*
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => {
+                        __passed += 1;
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {}/{} failed (seed {:#x}): {}",
+                            __passed + 1, __config.cases, __seed, msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking
+/// directly (the runner attaches seed/case diagnostics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*))
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Skip the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond))
+            );
+        }
+    };
+}

@@ -28,15 +28,13 @@ fn bench_dram(c: &mut Criterion) {
     group.throughput(Throughput::Elements(REQUESTS));
     group.bench_function("sequential_4k_reads", |b| {
         b.iter(|| {
-            let mem = MemorySystem::new(DramConfig::ddr4_3200_channel())
-                .expect("valid config");
+            let mem = MemorySystem::new(DramConfig::ddr4_3200_channel()).expect("valid config");
             TraceRunner::new(mem).run(&seq).expect("in range")
         })
     });
     group.bench_function("random_4k_reads", |b| {
         b.iter(|| {
-            let mem = MemorySystem::new(DramConfig::ddr4_3200_channel())
-                .expect("valid config");
+            let mem = MemorySystem::new(DramConfig::ddr4_3200_channel()).expect("valid config");
             TraceRunner::new(mem).run(&rnd).expect("in range")
         })
     });

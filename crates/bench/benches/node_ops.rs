@@ -28,9 +28,7 @@ fn bench_node(c: &mut Criterion) {
         b.iter_batched(
             fresh_node,
             |mut node| {
-                let table = tensordimm_core::TableHandle::clone(
-                    &node_table(&node),
-                );
+                let table = tensordimm_core::TableHandle::clone(&node_table(&node));
                 node.gather(black_box(&table), black_box(&indices))
                     .expect("indices in range")
             },

@@ -35,8 +35,14 @@ fn main() {
         "{:>9} {:>12} | {:>12} {:>14}",
         "scheduler", "row policy", "stream", "random 64B"
     );
-    for (sched, sname) in [(SchedulerKind::FrFcfs, "FR-FCFS"), (SchedulerKind::Fcfs, "FCFS")] {
-        for (policy, pname) in [(RowPolicy::OpenPage, "open"), (RowPolicy::ClosedPage, "closed")] {
+    for (sched, sname) in [
+        (SchedulerKind::FrFcfs, "FR-FCFS"),
+        (SchedulerKind::Fcfs, "FCFS"),
+    ] {
+        for (policy, pname) in [
+            (RowPolicy::OpenPage, "open"),
+            (RowPolicy::ClosedPage, "closed"),
+        ] {
             let cfg = DramConfig::ddr4_3200_channel()
                 .with_scheduler(sched)
                 .with_row_policy(policy);

@@ -30,7 +30,9 @@ fn dimm_of_vector(index: u64) -> u64 {
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
-    let lookups: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..5_000_000u64)).collect();
+    let lookups: Vec<u64> = (0..10_000)
+        .map(|_| rng.gen_range(0..5_000_000u64))
+        .collect();
 
     // 1) DIMM-parallelism of a single lookup.
     println!("Ablation: address-mapping scheme (32 DIMMs, dim-512 vectors)");
@@ -51,8 +53,14 @@ fn main() {
     }
     let max = *per_dimm.iter().max().expect("nonempty") as f64;
     let mean = per_dimm.iter().sum::<u64>() as f64 / DIMMS as f64;
-    println!("Load balance over {} lookups (blocks per DIMM):", lookups.len());
-    println!("  interleaved:     perfectly equal ({} blocks each)", lookups.len() as u64 * VEC_BLOCKS / DIMMS);
+    println!(
+        "Load balance over {} lookups (blocks per DIMM):",
+        lookups.len()
+    );
+    println!(
+        "  interleaved:     perfectly equal ({} blocks each)",
+        lookups.len() as u64 * VEC_BLOCKS / DIMMS
+    );
     println!(
         "  vector-per-DIMM: max/mean = {:.3} (straggler DIMM sets the pace)",
         max / mean

@@ -54,6 +54,10 @@ fn main() {
         "Low-batch crossover (NCF, batch 1): CPU-only {:.3} vs CPU-GPU {:.3} -> {}",
         c1,
         h1,
-        if c1 > h1 { "REPRODUCED" } else { "NOT reproduced" }
+        if c1 > h1 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

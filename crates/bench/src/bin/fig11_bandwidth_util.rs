@@ -21,6 +21,7 @@ fn experiment(op: OpKind, batch: u64) -> OpExperiment {
         vec_blocks: VEC_BLOCKS,
         table_rows: TABLE_ROWS,
         seed: 0xf1611,
+        zipf_s: 0.0,
     }
 }
 

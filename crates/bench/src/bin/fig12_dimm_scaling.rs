@@ -47,8 +47,12 @@ fn main() {
             vec_blocks,
             table_rows: TABLE_ROWS,
             seed: 0xf1202,
+            zipf_s: 0.0,
         };
-        let node: Vec<f64> = ops.iter().map(|&op| tensornode_gbps(&exp(op), dimms)).collect();
+        let node: Vec<f64> = ops
+            .iter()
+            .map(|&op| tensornode_gbps(&exp(op), dimms))
+            .collect();
         // The same DIMMs hanging off the fixed 8 CPU channels.
         let ranks_per_channel = (dimms / 8).max(1) as usize;
         let cpu: Vec<f64> = ops

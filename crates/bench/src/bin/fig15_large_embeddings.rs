@@ -24,10 +24,7 @@ fn main() {
         let mut hyb_acc = Vec::new();
         for &(s, b, vs_cpu, vs_hybrid) in &rows {
             if s == scale {
-                println!(
-                    "{:>8}x {:>6} | {:>16.1} {:>16.1}",
-                    s, b, vs_cpu, vs_hybrid
-                );
+                println!("{:>8}x {:>6} | {:>16.1} {:>16.1}", s, b, vs_cpu, vs_hybrid);
                 cpu_acc.push(vs_cpu);
                 hyb_acc.push(vs_hybrid);
                 max_speedup = max_speedup.max(vs_cpu).max(vs_hybrid);

@@ -41,8 +41,8 @@ fn main() {
         let model =
             SystemModel::paper_defaults().with_topology(Topology::dgx_like(8).with_gpu_link(link));
         for &scale in &scales {
-            let pmem = perf(&model, DesignPoint::Pmem, scale)
-                / perf(&baseline, DesignPoint::Pmem, scale);
+            let pmem =
+                perf(&model, DesignPoint::Pmem, scale) / perf(&baseline, DesignPoint::Pmem, scale);
             let tdimm = perf(&model, DesignPoint::Tdimm, scale)
                 / perf(&baseline, DesignPoint::Tdimm, scale);
             println!(
@@ -57,8 +57,7 @@ fn main() {
         }
         println!();
     }
-    let avg_tdimm_loss =
-        tdimm_losses.iter().sum::<f64>() / tdimm_losses.len().max(1) as f64;
+    let avg_tdimm_loss = tdimm_losses.iter().sum::<f64>() / tdimm_losses.len().max(1) as f64;
     println!(
         "PMEM loses up to {:.0}% on thin links; TDIMM loses at most {:.0}% \
          (avg {:.0}%) — paper: up to 68% vs at most 15% (avg 10%).",

@@ -6,10 +6,7 @@ fn main() {
     let cfg = TensorNodeConfig::paper();
     println!("Table 1: Baseline TensorNode configuration");
     println!("==========================================");
-    println!(
-        "{:<44} DDR4 (PC4-25600)",
-        "DRAM specification"
-    );
+    println!("{:<44} DDR4 (PC4-25600)", "DRAM specification");
     println!("{:<44} {}", "Number of TensorDIMMs", cfg.dimms);
     println!(
         "{:<44} {:.1} GB/sec",
@@ -33,6 +30,7 @@ fn main() {
     );
     println!(
         "{:<44} {} entries",
-        "Queue capacity", cfg.nmp.input_queue_entries()
+        "Queue capacity",
+        cfg.nmp.input_queue_entries()
     );
 }

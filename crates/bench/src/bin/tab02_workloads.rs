@@ -28,7 +28,12 @@ fn main() {
     println!();
     println!("Default batch size 64 (sweeps use 1-128); 5M rows per table.");
     println!("Per-inference embedding traffic at batch 64:");
-    table::header(&[("Network", 10), ("Gathered (MB)", 14), ("Pooled (MB)", 12), ("Reduction", 10)]);
+    table::header(&[
+        ("Network", 10),
+        ("Gathered (MB)", 14),
+        ("Pooled (MB)", 12),
+        ("Reduction", 10),
+    ]);
     for w in Workload::all() {
         println!(
             "{:>10}  {:>14}  {:>12}  {:>9}x",

@@ -36,7 +36,11 @@ fn main() {
             dimms,
             power.node_capacity_gib(dimms),
             power.node_watts(dimms),
-            if power.fits_oam_envelope(dimms) { "yes" } else { "no" }
+            if power.fits_oam_envelope(dimms) {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
 }

@@ -8,6 +8,10 @@
 //! * Criterion micro-benchmarks (`benches/`) over the functional kernels,
 //!   the DRAM simulator and the end-to-end system model,
 //! * shared output helpers in [`table`].
+//!
+//! Request-*arrival* processes (as opposed to the per-op memory traffic of
+//! [`traffic`]) live in `tensordimm_serving::arrivals`, which this crate's
+//! `sweep_qps_sla` binary drives.
 
 pub mod table;
 pub mod traffic;

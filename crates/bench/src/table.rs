@@ -54,7 +54,10 @@ mod tests {
         for (name, width) in cols {
             let cell = &line[offset..offset + width];
             assert_eq!(cell.trim_start(), name);
-            assert!(cell.ends_with(name), "{name:?} not right-aligned in {cell:?}");
+            assert!(
+                cell.ends_with(name),
+                "{name:?} not right-aligned in {cell:?}"
+            );
             assert_eq!(&line[offset + width..offset + width + 2], "  ");
             offset += width + 2;
         }

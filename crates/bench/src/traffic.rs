@@ -7,12 +7,10 @@
 //! the DIMM count; the CPU side replays the full access stream over the
 //! conventional 8-channel memory system.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use tensordimm_dram::{DramConfig, MemorySystem, Trace, TraceRunner};
 use tensordimm_isa::{DimmContext, Instruction, ReduceOp};
 use tensordimm_nmp::{NmpConfig, NmpCore};
+use tensordimm_serving::zipf_lookup_rows;
 
 /// Which tensor operation to generate traffic for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +50,11 @@ pub struct OpExperiment {
     pub table_rows: u64,
     /// RNG seed for GATHER indices.
     pub seed: u64,
+    /// Popularity skew of GATHER indices: `0.0` draws rows uniformly (the
+    /// paper's worst case for row-buffer locality), `> 0.0` draws
+    /// Zipf-skewed rows (rank 0 hottest) as recommendation serving traffic
+    /// does.
+    pub zipf_s: f64,
 }
 
 /// Deep queues approximating trace-driven simulation (the reorder window a
@@ -65,8 +68,7 @@ fn deep_queues(mut cfg: DramConfig) -> DramConfig {
 }
 
 fn gather_indices(exp: &OpExperiment) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(exp.seed);
-    (0..exp.count).map(|_| rng.gen_range(0..exp.table_rows)).collect()
+    zipf_lookup_rows(exp.count as usize, exp.table_rows, exp.zipf_s, exp.seed)
 }
 
 /// Round `vec_blocks` up to a whole stripe over `dimms`.
@@ -168,6 +170,7 @@ mod tests {
             vec_blocks: 32,
             table_rows: 100_000,
             seed: 5,
+            zipf_s: 0.0,
         }
     }
 
@@ -201,7 +204,11 @@ mod tests {
 
         let mut other = exp(OpKind::Gather);
         other.seed += 1;
-        assert_ne!(a, gather_indices(&other), "different seed, different stream");
+        assert_ne!(
+            a,
+            gather_indices(&other),
+            "different seed, different stream"
+        );
     }
 
     #[test]
@@ -225,6 +232,22 @@ mod tests {
     }
 
     #[test]
+    fn zipf_gather_indices_are_head_heavy() {
+        let mut e = exp(OpKind::Gather);
+        e.count = 10_000;
+        e.zipf_s = 0.9;
+        let idx = gather_indices(&e);
+        assert_eq!(idx.len(), e.count as usize);
+        assert!(idx.iter().all(|&i| i < e.table_rows), "index out of range");
+        // The hottest 1% of rows should draw far more than 1% of lookups.
+        let cutoff = e.table_rows / 100;
+        let hot = idx.iter().filter(|&&i| i < cutoff).count() as f64 / idx.len() as f64;
+        assert!(hot > 0.10, "zipf 0.9 hot-row share {hot:.3}");
+        // And the stream stays deterministic per seed.
+        assert_eq!(idx, gather_indices(&e));
+    }
+
+    #[test]
     fn bandwidth_results_deterministic_per_seed() {
         // A small experiment keeps the double cycle-level replay cheap.
         let e = OpExperiment {
@@ -233,6 +256,7 @@ mod tests {
             vec_blocks: 8,
             table_rows: 10_000,
             seed: 5,
+            zipf_s: 0.0,
         };
         assert_eq!(
             tensornode_gbps(&e, 32).to_bits(),

@@ -159,8 +159,8 @@ impl GatherModel {
         let mlp = (self.gather_threads * self.effective_mshrs) as f64;
         let line_rate_per_ns = mlp / avg_line_latency_ns;
         let raw_gbps = line_rate_per_ns * 64.0; // bytes per ns == GB/s
-        // DRAM can only supply lines so fast; hits above DRAM don't count
-        // against the cap.
+                                                // DRAM can only supply lines so fast; hits above DRAM don't count
+                                                // against the cap.
         let mem_rate = hierarchy.memory_access_rate();
         let dram_cap_gbps = if mem_rate > 0.0 {
             self.dram_peak_gbps / mem_rate

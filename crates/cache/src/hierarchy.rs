@@ -201,7 +201,7 @@ mod tests {
         let mut h = small();
         assert_eq!(h.access(0), 0); // cold: memory
         assert_eq!(h.access(0), 1); // L1 hit
-        // Evict line 0 from tiny L1 with conflicting lines (same set).
+                                    // Evict line 0 from tiny L1 with conflicting lines (same set).
         h.access(4 * 64 * 64);
         h.access(8 * 64 * 64);
         // Line 0 fell out of L1 but sits in L2.

@@ -96,10 +96,7 @@ mod tests {
     fn exhaustion() {
         let mut a = BumpAllocator::new(16, 8);
         a.alloc(8).unwrap();
-        assert!(matches!(
-            a.alloc(9),
-            Err(CoreError::OutOfMemory { .. })
-        ));
+        assert!(matches!(a.alloc(9), Err(CoreError::OutOfMemory { .. })));
         // Exact fit still works.
         assert_eq!(a.alloc(8).unwrap(), 8);
         assert!(a.alloc(1).is_err());

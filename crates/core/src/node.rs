@@ -188,7 +188,9 @@ impl TensorNode {
         dim: usize,
     ) -> Result<TensorHandle, CoreError> {
         if count == 0 || dim == 0 {
-            return Err(CoreError::Empty { what: "tensor shape" });
+            return Err(CoreError::Empty {
+                what: "tensor shape",
+            });
         }
         if data.len() as u64 != count * dim as u64 {
             return Err(CoreError::DataShape {
@@ -239,7 +241,9 @@ impl TensorNode {
         let idx_u32: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
         self.pool.write_u32_slice(idx_base, &idx_u32);
 
-        let output_base = self.allocator.alloc(indices.len() as u64 * table.vec_blocks)?;
+        let output_base = self
+            .allocator
+            .alloc(indices.len() as u64 * table.vec_blocks)?;
         let instr = Instruction::Gather {
             table_base: table.base_block,
             idx_base,
@@ -296,11 +300,7 @@ impl TensorNode {
     /// # Errors
     ///
     /// [`CoreError::BadGrouping`] when `count % group != 0`.
-    pub fn average(
-        &mut self,
-        t: &TensorHandle,
-        group: u64,
-    ) -> Result<TensorHandle, CoreError> {
+    pub fn average(&mut self, t: &TensorHandle, group: u64) -> Result<TensorHandle, CoreError> {
         if group == 0 || !t.count.is_multiple_of(group) {
             return Err(CoreError::BadGrouping {
                 count: t.count,
@@ -337,7 +337,9 @@ impl TensorNode {
     /// [`CoreError::Empty`] for no sources, [`CoreError::ShapeMismatch`]
     /// when dims differ, [`CoreError::OutOfMemory`] when the pool is full.
     pub fn concat(&mut self, sources: &[TensorHandle]) -> Result<TensorHandle, CoreError> {
-        let first = sources.first().ok_or(CoreError::Empty { what: "sources" })?;
+        let first = sources
+            .first()
+            .ok_or(CoreError::Empty { what: "sources" })?;
         for s in sources {
             if s.dim != first.dim || s.vec_blocks != first.vec_blocks {
                 return Err(CoreError::ShapeMismatch {
@@ -540,8 +542,9 @@ mod tests {
     #[test]
     fn table_and_gather_roundtrip() {
         let mut n = node();
-        let t = n.create_table("users", 64, 32, ).unwrap();
-        n.fill_table(&t, |r, c| r as f32 * 100.0 + c as f32).unwrap();
+        let t = n.create_table("users", 64, 32).unwrap();
+        n.fill_table(&t, |r, c| r as f32 * 100.0 + c as f32)
+            .unwrap();
         let g = n.gather(&t, &[5, 0, 63]).unwrap();
         let host = n.read_tensor(&g).unwrap();
         assert_eq!(host.len(), 3 * 32);
@@ -567,7 +570,8 @@ mod tests {
     fn reduce_and_average_match_golden() {
         let mut n = node();
         let t = n.create_table("t", 16, 64).unwrap();
-        n.fill_table(&t, |r, c| (r as f32) + (c as f32) * 0.5).unwrap();
+        n.fill_table(&t, |r, c| (r as f32) + (c as f32) * 0.5)
+            .unwrap();
         let a = n.gather(&t, &[1, 2, 3, 4]).unwrap();
         let b = n.gather(&t, &[5, 6, 7, 8]).unwrap();
         let sum = n.reduce(&a, &b, ReduceOp::Add).unwrap();
@@ -640,7 +644,7 @@ mod tests {
     #[test]
     fn padding_pads_small_dims_to_stripe() {
         let n = node(); // 4 DIMMs
-        // dim 16 = 1 block, padded to 4.
+                        // dim 16 = 1 block, padded to 4.
         assert_eq!(n.vec_blocks_for(16), 4);
         // dim 512 = 32 blocks, already a multiple of 4.
         assert_eq!(n.vec_blocks_for(512), 32);
@@ -711,9 +715,7 @@ mod tests {
         // table 1 rows {3,4,5} -> pooled 104.0.
         let idx0: Vec<u64> = (0..batch as u64 * lookups).map(|i| i % 3).collect();
         let idx1: Vec<u64> = (0..batch as u64 * lookups).map(|i| 3 + i % 3).collect();
-        let features = n
-            .embedding_layer(&tables, &[idx0, idx1], lookups)
-            .unwrap();
+        let features = n.embedding_layer(&tables, &[idx0, idx1], lookups).unwrap();
         assert_eq!(features.count(), 2 * batch as u64);
         let rows = n.read_features(&features, 2).unwrap();
         assert_eq!(rows.len(), batch * 2 * 16);

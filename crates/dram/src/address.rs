@@ -96,7 +96,10 @@ impl MappingScheme {
     /// Prefer the named constructors; this is the escape hatch for mapping
     /// ablation studies.
     pub fn from_fields(fields: Vec<(Field, u32)>) -> Self {
-        MappingScheme { fields, bank_xor: false }
+        MappingScheme {
+            fields,
+            bank_xor: false,
+        }
     }
 
     /// Enable or disable the bank/bank-group XOR permutation.
@@ -147,7 +150,11 @@ impl MappingScheme {
         fields.push((Field::Column, col_high));
         fields.push((Field::Row, bits_for(geom.rows)));
         fields.push((Field::Channel, bits_for(geom.channels)));
-        MappingScheme { fields, bank_xor: false }.without_empty()
+        MappingScheme {
+            fields,
+            bank_xor: false,
+        }
+        .without_empty()
     }
 
     /// Conventional CPU-memory mapping: channel bits at the lowest position
@@ -171,7 +178,11 @@ impl MappingScheme {
             (Field::Column, col_high),
             (Field::Row, bits_for(geom.rows)),
         ];
-        MappingScheme { fields, bank_xor: true }.without_empty()
+        MappingScheme {
+            fields,
+            bank_xor: true,
+        }
+        .without_empty()
     }
 
     /// The mapping an NMP-local memory controller uses for the DRAM chips
@@ -199,7 +210,11 @@ impl MappingScheme {
             (Field::Row, bits_for(geom.rows)),
             (Field::Channel, bits_for(geom.channels)),
         ];
-        MappingScheme { fields, bank_xor: true }.without_empty()
+        MappingScheme {
+            fields,
+            bank_xor: true,
+        }
+        .without_empty()
     }
 
     /// Ablation mapping: rank selected by the *highest* bits, so an entire
@@ -216,7 +231,11 @@ impl MappingScheme {
             (Field::Rank, bits_for(geom.ranks_per_channel)),
             (Field::Channel, bits_for(geom.channels)),
         ];
-        MappingScheme { fields, bank_xor: false }.without_empty()
+        MappingScheme {
+            fields,
+            bank_xor: false,
+        }
+        .without_empty()
     }
 
     fn without_empty(mut self) -> Self {

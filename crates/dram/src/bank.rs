@@ -128,7 +128,14 @@ impl Rank {
     }
 
     /// Record an ACTIVATE issued at `cycle`.
-    pub fn record_activate(&mut self, t: &DramTiming, bank_group: usize, bank: usize, cycle: u64, row: usize) {
+    pub fn record_activate(
+        &mut self,
+        t: &DramTiming,
+        bank_group: usize,
+        bank: usize,
+        cycle: u64,
+        row: usize,
+    ) {
         let idx = self.bank_index(bank_group, bank);
         let b = &mut self.banks[idx];
         b.open_row = Some(row);
@@ -144,7 +151,14 @@ impl Rank {
     }
 
     /// Record a READ issued at `cycle`; `auto_precharge` models RDA.
-    pub fn record_read(&mut self, t: &DramTiming, bank_group: usize, bank: usize, cycle: u64, auto_precharge: bool) {
+    pub fn record_read(
+        &mut self,
+        t: &DramTiming,
+        bank_group: usize,
+        bank: usize,
+        cycle: u64,
+        auto_precharge: bool,
+    ) {
         let idx = self.bank_index(bank_group, bank);
         self.last_rd[bank_group] = Some(cycle);
         let b = &mut self.banks[idx];
@@ -157,7 +171,14 @@ impl Rank {
     }
 
     /// Record a WRITE issued at `cycle`; `auto_precharge` models WRA.
-    pub fn record_write(&mut self, t: &DramTiming, bank_group: usize, bank: usize, cycle: u64, auto_precharge: bool) {
+    pub fn record_write(
+        &mut self,
+        t: &DramTiming,
+        bank_group: usize,
+        bank: usize,
+        cycle: u64,
+        auto_precharge: bool,
+    ) {
         let idx = self.bank_index(bank_group, bank);
         self.last_wr[bank_group] = Some(cycle);
         let b = &mut self.banks[idx];

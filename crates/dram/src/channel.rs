@@ -34,7 +34,11 @@ impl ChannelState {
         let ranks = (0..geom.ranks_per_channel)
             .map(|r| {
                 let stagger = timing.trefi * r as u64 / geom.ranks_per_channel.max(1) as u64;
-                Rank::new(geom.bank_groups, geom.banks_per_group, timing.trefi + stagger)
+                Rank::new(
+                    geom.bank_groups,
+                    geom.banks_per_group,
+                    timing.trefi + stagger,
+                )
             })
             .collect();
         ChannelState {
@@ -65,8 +69,7 @@ impl ChannelState {
             DramCommand::PrechargeAll => {
                 rank.refresh_busy_until <= cycle
                     && (0..self.bank_groups).all(|bg| {
-                        (0..self.banks_per_group)
-                            .all(|b| rank.earliest_precharge(bg, b) <= cycle)
+                        (0..self.banks_per_group).all(|b| rank.earliest_precharge(bg, b) <= cycle)
                     })
             }
             DramCommand::Read | DramCommand::ReadAp => {
@@ -142,10 +145,7 @@ mod tests {
 
     fn setup() -> (ChannelState, DramTiming) {
         let cfg = DramConfig::ddr4_3200_channel();
-        (
-            ChannelState::new(&cfg.geometry, &cfg.timing),
-            cfg.timing,
-        )
+        (ChannelState::new(&cfg.geometry, &cfg.timing), cfg.timing)
     }
 
     fn addr(rank: usize, bg: usize, bank: usize, row: usize, col: usize) -> DramAddr {

@@ -286,7 +286,10 @@ mod tests {
         cfg.geometry.rows = 1000;
         assert!(matches!(
             cfg.validate(),
-            Err(DramError::InvalidGeometry { parameter: "rows", .. })
+            Err(DramError::InvalidGeometry {
+                parameter: "rows",
+                ..
+            })
         ));
     }
 

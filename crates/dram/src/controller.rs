@@ -187,8 +187,12 @@ impl MemoryController {
                 rank: rank_idx,
                 ..DramAddr::default()
             };
-            if self.state.can_issue(&timing, DramCommand::Refresh, &addr, self.cycle) {
-                self.state.issue(&timing, DramCommand::Refresh, &addr, self.cycle);
+            if self
+                .state
+                .can_issue(&timing, DramCommand::Refresh, &addr, self.cycle)
+            {
+                self.state
+                    .issue(&timing, DramCommand::Refresh, &addr, self.cycle);
                 self.stats.refreshes += 1;
                 return true;
             }
@@ -264,9 +268,12 @@ impl MemoryController {
                                 && other.dram.row == row
                         });
                         if !still_useful
-                            && self
-                                .state
-                                .can_issue(&timing, DramCommand::Precharge, &q.dram, self.cycle)
+                            && self.state.can_issue(
+                                &timing,
+                                DramCommand::Precharge,
+                                &q.dram,
+                                self.cycle,
+                            )
                         {
                             chosen = Some((i, DramCommand::Precharge));
                             break;

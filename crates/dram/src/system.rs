@@ -193,7 +193,11 @@ mod tests {
         assert_eq!(stats.totals.reads, 1024);
         assert_eq!(stats.channels, 4);
         // Four channels must beat a single channel's peak on this stream.
-        assert!(stats.achieved_gbps() > 25.6, "got {}", stats.achieved_gbps());
+        assert!(
+            stats.achieved_gbps() > 25.6,
+            "got {}",
+            stats.achieved_gbps()
+        );
     }
 
     #[test]

@@ -180,7 +180,10 @@ mod tests {
     #[test]
     fn trace_builders() {
         let mut t = Trace::new();
-        t.read(0).write(64).read_range(128, 256).write_range(1024, 100);
+        t.read(0)
+            .write(64)
+            .read_range(128, 256)
+            .write_range(1024, 100);
         assert_eq!(t.reads(), 1 + 4);
         assert_eq!(t.writes(), 1 + 2);
         assert_eq!(t.bytes(), 8 * 64);

@@ -12,10 +12,7 @@ pub fn table_bytes(rows: u64, dim: u64) -> u64 {
 /// Parameter count of a dense MLP over the given layer widths
 /// (weights + biases for each consecutive pair).
 pub fn mlp_params(widths: &[u64]) -> u64 {
-    widths
-        .windows(2)
-        .map(|w| w[0] * w[1] + w[1])
-        .sum()
+    widths.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
 }
 
 /// A model-size breakdown for one configuration point of Fig. 3.

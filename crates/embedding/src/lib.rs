@@ -85,7 +85,9 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(!EmbeddingError::EmptyShape { what: "rows" }.to_string().is_empty());
+        assert!(!EmbeddingError::EmptyShape { what: "rows" }
+            .to_string()
+            .is_empty());
         assert!(!EmbeddingError::ShapeMismatch { left: 1, right: 2 }
             .to_string()
             .is_empty());

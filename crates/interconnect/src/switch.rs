@@ -116,7 +116,9 @@ impl Switch {
                     .filter(|&p| degree[p] > 0)
                     .map(|p| (residual[p] / degree[p] as f64, p))
                     .min_by(|a, b| a.0.total_cmp(&b.0));
-                let Some((share, port)) = bottleneck else { break };
+                let Some((share, port)) = bottleneck else {
+                    break;
+                };
                 let mut changed = false;
                 for &i in &active {
                     if !frozen[i] && (flows[i].from == port || flows[i].to == port) {
@@ -159,7 +161,11 @@ mod tests {
     fn single_flow_matches_link_model() {
         let s = sw();
         let t = s
-            .concurrent_transfer_us(&[Flow { from: 0, to: 1, bytes: 1 << 20 }])
+            .concurrent_transfer_us(&[Flow {
+                from: 0,
+                to: 1,
+                bytes: 1 << 20,
+            }])
             .expect("ports in range");
         let direct = Link::nvlink2_x6().transfer_time_us(1 << 20);
         assert!((t[0] - direct).abs() < 1e-6);
@@ -170,9 +176,21 @@ mod tests {
         let s = sw();
         let t = s
             .concurrent_transfer_us(&[
-                Flow { from: 0, to: 1, bytes: 1 << 24 },
-                Flow { from: 2, to: 3, bytes: 1 << 24 },
-                Flow { from: 4, to: 5, bytes: 1 << 24 },
+                Flow {
+                    from: 0,
+                    to: 1,
+                    bytes: 1 << 24,
+                },
+                Flow {
+                    from: 2,
+                    to: 3,
+                    bytes: 1 << 24,
+                },
+                Flow {
+                    from: 4,
+                    to: 5,
+                    bytes: 1 << 24,
+                },
             ])
             .expect("ports in range");
         let solo = Link::nvlink2_x6().transfer_time_us(1 << 24);
@@ -186,10 +204,26 @@ mod tests {
         let s = sw();
         let t = s
             .concurrent_transfer_us(&[
-                Flow { from: 0, to: 1, bytes: 1 << 26 },
-                Flow { from: 0, to: 2, bytes: 1 << 26 },
-                Flow { from: 0, to: 3, bytes: 1 << 26 },
-                Flow { from: 0, to: 4, bytes: 1 << 26 },
+                Flow {
+                    from: 0,
+                    to: 1,
+                    bytes: 1 << 26,
+                },
+                Flow {
+                    from: 0,
+                    to: 2,
+                    bytes: 1 << 26,
+                },
+                Flow {
+                    from: 0,
+                    to: 3,
+                    bytes: 1 << 26,
+                },
+                Flow {
+                    from: 0,
+                    to: 4,
+                    bytes: 1 << 26,
+                },
             ])
             .expect("ports in range");
         let solo = Link::nvlink2_x6().transfer_time_us(1 << 26);
@@ -204,8 +238,16 @@ mod tests {
         let s = sw();
         let t = s
             .concurrent_transfer_us(&[
-                Flow { from: 0, to: 1, bytes: 1 << 20 },      // small
-                Flow { from: 0, to: 2, bytes: 1 << 26 },      // large
+                Flow {
+                    from: 0,
+                    to: 1,
+                    bytes: 1 << 20,
+                }, // small
+                Flow {
+                    from: 0,
+                    to: 2,
+                    bytes: 1 << 26,
+                }, // large
             ])
             .expect("ports in range");
         let solo_large = Link::nvlink2_x6().transfer_time_us(1 << 26);
@@ -218,13 +260,20 @@ mod tests {
     fn bad_port_rejected() {
         let s = sw();
         assert!(s
-            .concurrent_transfer_us(&[Flow { from: 0, to: 8, bytes: 64 }])
+            .concurrent_transfer_us(&[Flow {
+                from: 0,
+                to: 8,
+                bytes: 64
+            }])
             .is_err());
         assert!(Switch::new(0, Link::nvlink2_x6()).is_err());
     }
 
     #[test]
     fn empty_flow_set() {
-        assert!(sw().concurrent_transfer_us(&[]).expect("trivially ok").is_empty());
+        assert!(sw()
+            .concurrent_transfer_us(&[])
+            .expect("trivially ok")
+            .is_empty());
     }
 }

@@ -153,7 +153,9 @@ mod tests {
     fn nvlink_beats_pcie() {
         let t = Topology::dgx_like(8);
         let bytes = 64 << 20;
-        let pcie = t.transfer_time_us(Device::Cpu, Device::Gpu(0), bytes).unwrap();
+        let pcie = t
+            .transfer_time_us(Device::Cpu, Device::Gpu(0), bytes)
+            .unwrap();
         let nv = t
             .transfer_time_us(Device::TensorNode, Device::Gpu(0), bytes)
             .unwrap();
@@ -178,7 +180,9 @@ mod tests {
     fn staged_route_sums() {
         let t = Topology::dgx_like(1);
         let bytes = 1 << 20;
-        let direct = t.transfer_time_us(Device::Cpu, Device::Gpu(0), bytes).unwrap();
+        let direct = t
+            .transfer_time_us(Device::Cpu, Device::Gpu(0), bytes)
+            .unwrap();
         let staged = t
             .transfer_time_us(Device::Cpu, Device::TensorNode, bytes)
             .unwrap();

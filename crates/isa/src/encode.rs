@@ -47,6 +47,50 @@ impl EncodedInstruction {
 
     /// Size of the wire format in bytes.
     pub const BYTES: usize = 40;
+
+    /// Serialize to the on-the-wire byte stream (five little-endian
+    /// 64-bit words).
+    pub fn to_bytes(&self) -> [u8; Self::BYTES] {
+        let mut bytes = [0u8; Self::BYTES];
+        for (chunk, word) in bytes.chunks_exact_mut(8).zip(self.words) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        bytes
+    }
+
+    /// Deserialize from a byte stream. The instruction fields are *not*
+    /// validated here — that is [`decode`]'s job — but the length is:
+    /// truncated or oversized buffers are rejected, never mis-parsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::WireLength`] unless `bytes.len()` is exactly
+    /// [`EncodedInstruction::BYTES`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IsaError> {
+        if bytes.len() != Self::BYTES {
+            return Err(IsaError::WireLength {
+                len: bytes.len(),
+                expected: Self::BYTES,
+            });
+        }
+        let mut words = [0u64; 5];
+        for (word, chunk) in words.iter_mut().zip(bytes.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+        }
+        Ok(EncodedInstruction { words })
+    }
+}
+
+/// Decode an instruction straight from wire bytes, validating both the
+/// buffer length and the instruction fields.
+///
+/// # Errors
+///
+/// Returns [`IsaError::WireLength`] for a buffer that is not exactly
+/// [`EncodedInstruction::BYTES`] long, and any [`decode`] error for
+/// corrupted field bytes.
+pub fn decode_bytes(bytes: &[u8]) -> Result<Instruction, IsaError> {
+    decode(&EncodedInstruction::from_bytes(bytes)?)
 }
 
 const VEC_BLOCKS_MAX: u64 = u16::MAX as u64;
@@ -65,10 +109,7 @@ fn header(opcode: OpCode, op: u8, vec_blocks: u64, group: u64) -> Result<u64, Is
             value: group,
         });
     }
-    Ok(opcode.to_byte() as u64
-        | (op as u64) << 8
-        | vec_blocks << 16
-        | group << 32)
+    Ok(opcode.to_byte() as u64 | (op as u64) << 8 | vec_blocks << 16 | group << 32)
 }
 
 /// Encode an instruction into wire format.
@@ -253,5 +294,49 @@ mod tests {
     #[test]
     fn wire_size() {
         assert_eq!(EncodedInstruction::BYTES, 40);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let i = Instruction::Average {
+            input_base: 10,
+            output_base: 20,
+            count: 30,
+            group: 25,
+            vec_blocks: 32,
+        };
+        let wire = encode(&i).unwrap();
+        let bytes = wire.to_bytes();
+        assert_eq!(bytes.len(), EncodedInstruction::BYTES);
+        assert_eq!(EncodedInstruction::from_bytes(&bytes).unwrap(), wire);
+        assert_eq!(decode_bytes(&bytes).unwrap(), i);
+    }
+
+    #[test]
+    fn truncated_and_oversized_buffers_rejected() {
+        let bytes = encode(&Instruction::Reduce {
+            input1: 0,
+            input2: 0,
+            output_base: 0,
+            count: 1,
+            op: ReduceOp::Add,
+        })
+        .unwrap()
+        .to_bytes();
+        for len in [0, 1, 8, 39] {
+            assert!(matches!(
+                decode_bytes(&bytes[..len]),
+                Err(IsaError::WireLength { len: l, expected: 40 }) if l == len
+            ));
+        }
+        let mut oversized = bytes.to_vec();
+        oversized.push(0);
+        assert!(matches!(
+            decode_bytes(&oversized),
+            Err(IsaError::WireLength {
+                len: 41,
+                expected: 40
+            })
+        ));
     }
 }

@@ -254,7 +254,9 @@ impl Instruction {
                     return Err(IsaError::ZeroField { field: "count" });
                 }
                 if vec_blocks == 0 {
-                    return Err(IsaError::ZeroField { field: "vec_blocks" });
+                    return Err(IsaError::ZeroField {
+                        field: "vec_blocks",
+                    });
                 }
                 aligned("table_base", table_base)?;
                 aligned("output_base", output_base)?;
@@ -289,7 +291,9 @@ impl Instruction {
                     return Err(IsaError::ZeroField { field: "group" });
                 }
                 if vec_blocks == 0 {
-                    return Err(IsaError::ZeroField { field: "vec_blocks" });
+                    return Err(IsaError::ZeroField {
+                        field: "vec_blocks",
+                    });
                 }
                 aligned("input_base", input_base)?;
                 aligned("output_base", output_base)?;

@@ -63,7 +63,7 @@ pub mod memory;
 pub mod plan;
 pub mod vector;
 
-pub use encode::{decode, encode, EncodedInstruction};
+pub use encode::{decode, decode_bytes, encode, EncodedInstruction};
 pub use exec::{execute_on_dimm, execute_on_node, DimmContext, ExecSummary};
 pub use instruction::{Instruction, OpCode, ReduceOp};
 pub use memory::{TensorMemory, VecMemory};
@@ -81,6 +81,13 @@ pub enum IsaError {
     UnknownOpcode(u8),
     /// The reduce-op byte of an encoded REDUCE is unknown.
     UnknownReduceOp(u8),
+    /// A wire buffer is truncated or oversized.
+    WireLength {
+        /// Bytes received.
+        len: usize,
+        /// Bytes the wire format requires.
+        expected: usize,
+    },
     /// A tensor base or size is not aligned to the node's DIMM count.
     Misaligned {
         /// Which operand is misaligned.
@@ -125,6 +132,12 @@ impl fmt::Display for IsaError {
         match self {
             IsaError::UnknownOpcode(op) => write!(f, "unknown opcode byte {op:#04x}"),
             IsaError::UnknownReduceOp(op) => write!(f, "unknown reduce-op byte {op:#04x}"),
+            IsaError::WireLength { len, expected } => {
+                write!(
+                    f,
+                    "wire buffer is {len} bytes, format requires exactly {expected}"
+                )
+            }
             IsaError::Misaligned {
                 what,
                 value,
@@ -134,7 +147,10 @@ impl fmt::Display for IsaError {
                 "{what} = {value} blocks is not a multiple of the node's {node_dim} DIMMs"
             ),
             IsaError::FieldOverflow { field, value } => {
-                write!(f, "field {field} = {value} does not fit the instruction format")
+                write!(
+                    f,
+                    "field {field} = {value} does not fit the instruction format"
+                )
             }
             IsaError::InvalidContext { node_dim, tid } => {
                 write!(f, "invalid DIMM context: tid {tid} of node_dim {node_dim}")

@@ -295,8 +295,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         let mut total = 0usize;
         for tid in 0..node_dim {
-            let plan =
-                AccessPlan::for_dimm(&r, DimmContext::new(node_dim, tid), None).unwrap();
+            let plan = AccessPlan::for_dimm(&r, DimmContext::new(node_dim, tid), None).unwrap();
             for a in &plan {
                 assert_eq!(a.block % node_dim, tid, "stripe violated");
                 seen.insert((a.block, a.kind == AccessKind::Read, tid));

@@ -112,7 +112,11 @@ impl From<Vec16> for [f32; LANES] {
 
 impl fmt::Display for Vec16 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Vec16[{}, {}, .., {}]", self.lanes[0], self.lanes[1], self.lanes[15])
+        write!(
+            f,
+            "Vec16[{}, {}, .., {}]",
+            self.lanes[0], self.lanes[1], self.lanes[15]
+        )
     }
 }
 

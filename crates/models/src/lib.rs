@@ -65,7 +65,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::InputShape { got, expected } => {
-                write!(f, "input length {got} does not match first layer width {expected}")
+                write!(
+                    f,
+                    "input length {got} does not match first layer width {expected}"
+                )
             }
             ModelError::DegenerateSpec { widths } => {
                 write!(f, "an MLP needs at least two widths, got {widths}")
@@ -82,9 +85,14 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(!ModelError::InputShape { got: 1, expected: 2 }
+        assert!(!ModelError::InputShape {
+            got: 1,
+            expected: 2
+        }
+        .to_string()
+        .is_empty());
+        assert!(!ModelError::DegenerateSpec { widths: 1 }
             .to_string()
             .is_empty());
-        assert!(!ModelError::DegenerateSpec { widths: 1 }.to_string().is_empty());
     }
 }

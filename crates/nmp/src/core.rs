@@ -167,10 +167,7 @@ impl NmpCore {
         let map = LocalAddressMap::new(ctx.node_dim, ctx.tid);
         let mut memory = MemorySystem::new(self.config.dram.clone())?;
         let capacity = self.config.dram.capacity_bytes();
-        let mut alu = VectorAlu::new(
-            self.config.alu_clock_mhz,
-            self.config.dram.timing.clock_mhz,
-        );
+        let mut alu = VectorAlu::new(self.config.alu_clock_mhz, self.config.dram.timing.clock_mhz);
         let alu_ops_per_write: u64 = match instr {
             Instruction::Gather { .. } => 0, // forwarded input -> output
             Instruction::Reduce { .. } => 1,
@@ -231,10 +228,7 @@ impl NmpCore {
             if read_pos < reads.len() {
                 if read_pos as u64 - reads_retired < input_capacity as u64 {
                     let req = Request::read(reads[read_pos]).with_id(read_pos as u64);
-                    if memory
-                        .push(req)
-                        .expect("lowered addresses are in range")
-                    {
+                    if memory.push(req).expect("lowered addresses are in range") {
                         read_pos += 1;
                     }
                 } else {

@@ -76,12 +76,12 @@ impl LocalAddressMap {
         for access in plan {
             let byte = self.lower_access(access) % capacity_bytes;
             match access.kind {
-                AccessKind::Read => trace.push(tensordimm_dram::TraceEntry::now(
-                    Request::read(byte),
-                )),
-                AccessKind::Write => trace.push(tensordimm_dram::TraceEntry::now(
-                    Request::write(byte),
-                )),
+                AccessKind::Read => {
+                    trace.push(tensordimm_dram::TraceEntry::now(Request::read(byte)))
+                }
+                AccessKind::Write => {
+                    trace.push(tensordimm_dram::TraceEntry::now(Request::write(byte)))
+                }
             };
         }
         trace

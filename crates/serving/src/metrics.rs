@@ -1,0 +1,189 @@
+//! Serving metrics: latency percentiles, queue-depth statistics and
+//! batch-occupancy histograms.
+
+/// Nearest-rank percentile of an ascending-sorted sample, `pct` in
+/// `[0, 100]`. Empty samples yield `0.0`.
+pub fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Tail-latency summary of completed requests.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Completed requests the summary covers.
+    pub count: usize,
+    /// Mean end-to-end latency, µs.
+    pub mean_us: f64,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 95th-percentile latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// Worst observed latency, µs.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarize a set of end-to-end latencies (µs, any order).
+    pub fn from_latencies(mut latencies: Vec<f64>) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        latencies.sort_by(f64::total_cmp);
+        let count = latencies.len();
+        let mean_us = latencies.iter().sum::<f64>() / count as f64;
+        LatencySummary {
+            count,
+            mean_us,
+            p50_us: percentile(&latencies, 50.0),
+            p95_us: percentile(&latencies, 95.0),
+            p99_us: percentile(&latencies, 99.0),
+            max_us: latencies[count - 1],
+        }
+    }
+}
+
+/// Waiting-queue depth over the simulated interval.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueueStats {
+    /// Time-weighted mean number of waiting (not yet dispatched) requests.
+    pub mean_depth: f64,
+    /// Peak waiting-queue depth.
+    pub max_depth: usize,
+}
+
+/// Accumulates the queue-depth integral as the event loop advances time.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct QueueDepthTracker {
+    integral: f64,
+    last_time_us: f64,
+    max_depth: usize,
+}
+
+impl QueueDepthTracker {
+    /// Account `depth` having held from the previous event up to `now`.
+    pub fn advance(&mut self, now_us: f64, depth: usize) {
+        debug_assert!(
+            now_us + 1e-9 >= self.last_time_us,
+            "virtual time went backwards"
+        );
+        self.integral += depth as f64 * (now_us - self.last_time_us).max(0.0);
+        self.last_time_us = now_us;
+        self.max_depth = self.max_depth.max(depth);
+    }
+
+    /// Finish the accumulation over `[0, end_us]`.
+    pub fn finish(mut self, end_us: f64, depth: usize) -> QueueStats {
+        self.advance(end_us, depth);
+        QueueStats {
+            mean_depth: if end_us > 0.0 {
+                self.integral / end_us
+            } else {
+                0.0
+            },
+            max_depth: self.max_depth,
+        }
+    }
+}
+
+/// How full dispatched batches were.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchStats {
+    /// Batches dispatched.
+    pub batches: usize,
+    /// Mean requests per dispatched batch.
+    pub mean_occupancy: f64,
+    /// `occupancy_histogram[s]` = batches dispatched with exactly `s`
+    /// requests (index 0 unused; length `max_batch + 1`).
+    pub occupancy_histogram: Vec<u64>,
+}
+
+impl BatchStats {
+    /// An empty histogram for batches up to `max_batch`.
+    pub(crate) fn new(max_batch: usize) -> Self {
+        BatchStats {
+            batches: 0,
+            mean_occupancy: 0.0,
+            occupancy_histogram: vec![0; max_batch + 1],
+        }
+    }
+
+    /// Account one dispatched batch of `size` requests.
+    pub(crate) fn record(&mut self, size: usize) {
+        self.batches += 1;
+        if size < self.occupancy_histogram.len() {
+            self.occupancy_histogram[size] += 1;
+        }
+    }
+
+    /// Compute the mean once dispatching is done.
+    pub(crate) fn finalize(&mut self) {
+        let total: u64 = self
+            .occupancy_histogram
+            .iter()
+            .enumerate()
+            .map(|(size, &n)| size as u64 * n)
+            .sum();
+        self.mean_occupancy = if self.batches > 0 {
+            total as f64 / self.batches as f64
+        } else {
+            0.0
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn latency_summary_orders_percentiles() {
+        let lat: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).rev().collect();
+        let s = LatencySummary::from_latencies(lat);
+        assert_eq!(s.count, 1000);
+        assert!(s.p50_us <= s.p95_us);
+        assert!(s.p95_us <= s.p99_us);
+        assert!(s.p99_us <= s.max_us);
+        assert!(s.mean_us > 0.0);
+    }
+
+    #[test]
+    fn queue_tracker_time_weighting() {
+        let mut t = QueueDepthTracker::default();
+        t.advance(10.0, 0); // depth 0 over [0, 10)
+        t.advance(20.0, 4); // depth 4 over [10, 20)
+        let stats = t.finish(40.0, 1); // depth 1 over [20, 40)
+                                       // (0*10 + 4*10 + 1*20) / 40 = 1.5
+        assert!((stats.mean_depth - 1.5).abs() < 1e-12);
+        assert_eq!(stats.max_depth, 4);
+    }
+
+    #[test]
+    fn batch_stats_histogram() {
+        let mut b = BatchStats::new(8);
+        for size in [8, 8, 3, 1] {
+            b.record(size);
+        }
+        b.finalize();
+        assert_eq!(b.batches, 4);
+        assert_eq!(b.occupancy_histogram[8], 2);
+        assert_eq!(b.occupancy_histogram[1], 1);
+        assert!((b.mean_occupancy - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,612 @@
+//! The discrete-event, virtual-time serving simulator.
+//!
+//! An open-loop arrival trace feeds a [`DynamicBatcher`]; sealed batches
+//! dispatch to the first free GPU and are priced through the analytic
+//! system model ([`tensordimm_system::price_batch`]): node-backed designs
+//! (`PMEM`, `TDIMM`) pay shared-TensorNode contention scaled by how many
+//! GPUs are concurrently in flight, other designs pay their solo latency.
+//! The loop advances virtual time event by event — arrivals, batch-window
+//! flushes, GPU completions — and produces request-level tail-latency,
+//! throughput, queue-depth and batch-occupancy metrics.
+//!
+//! Everything is deterministic: same model, configuration and arrival
+//! trace ⇒ bit-identical [`SimReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use tensordimm_serving::{simulate, ArrivalProcess, BatchPolicy, SimConfig};
+//! use tensordimm_system::{DesignPoint, SystemModel};
+//! use tensordimm_models::Workload;
+//!
+//! let model = SystemModel::paper_defaults();
+//! let workload = Workload::youtube();
+//! let arrivals = ArrivalProcess::Poisson { rate_qps: 50_000.0 }.sample_arrivals_us(400, 7);
+//! let cfg = SimConfig::new(DesignPoint::Tdimm, 4, BatchPolicy::new(32, 500.0));
+//! let report = simulate(&model, &workload, &cfg, &arrivals)?;
+//! assert_eq!(report.completed, 400);
+//! assert!(report.latency.p99_us >= report.latency.p50_us);
+//! # Ok::<(), tensordimm_serving::SimError>(())
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use tensordimm_interconnect::InterconnectError;
+use tensordimm_models::Workload;
+use tensordimm_system::{price_batch, DesignPoint, SystemModel};
+
+use crate::batcher::{BatchPolicy, DynamicBatcher, QueuedRequest};
+use crate::metrics::{BatchStats, LatencySummary, QueueDepthTracker, QueueStats};
+use crate::request::{CompletionRecord, RequestRecord};
+
+/// Errors from the serving simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration knob is unusable.
+    InvalidConfig {
+        /// Which knob.
+        parameter: &'static str,
+    },
+    /// The arrival trace is not sorted ascending (or holds a non-finite or
+    /// negative instant) at this index.
+    BadArrival {
+        /// Index of the offending arrival.
+        index: usize,
+    },
+    /// Batch pricing through the system model failed.
+    Pricing(InterconnectError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { parameter } => {
+                write!(f, "simulator parameter {parameter} is unusable")
+            }
+            SimError::BadArrival { index } => {
+                write!(
+                    f,
+                    "arrival trace is unsorted or non-finite at index {index}"
+                )
+            }
+            SimError::Pricing(e) => write!(f, "batch pricing failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<InterconnectError> for SimError {
+    fn from(e: InterconnectError) -> Self {
+        SimError::Pricing(e)
+    }
+}
+
+/// Simulator configuration: the design point under test and its serving
+/// resources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Which design point serves the traffic.
+    pub design: DesignPoint,
+    /// GPUs pulling batches (sharing one TensorNode for node designs).
+    pub gpus: usize,
+    /// The dynamic-batching policy.
+    pub policy: BatchPolicy,
+    /// Optional cutoff, µs: events after this virtual time are not
+    /// processed, leaving requests queued / in flight for conservation
+    /// accounting. `None` runs until every request completes.
+    pub horizon_us: Option<f64>,
+}
+
+impl SimConfig {
+    /// A configuration that runs to completion (no horizon).
+    pub fn new(design: DesignPoint, gpus: usize, policy: BatchPolicy) -> Self {
+        SimConfig {
+            design,
+            gpus,
+            policy,
+            horizon_us: None,
+        }
+    }
+
+    /// Stop the virtual clock at `horizon_us`.
+    pub fn with_horizon(mut self, horizon_us: f64) -> Self {
+        self.horizon_us = Some(horizon_us);
+        self
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.gpus == 0 {
+            return Err(SimError::InvalidConfig { parameter: "gpus" });
+        }
+        self.policy.validate()?;
+        if let Some(h) = self.horizon_us {
+            if !h.is_finite() || h < 0.0 {
+                return Err(SimError::InvalidConfig {
+                    parameter: "horizon_us",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// The design point simulated.
+    pub design: DesignPoint,
+    /// GPUs configured.
+    pub gpus: usize,
+    /// The batching policy used.
+    pub policy: BatchPolicy,
+    /// Requests in the input trace.
+    pub offered: usize,
+    /// Requests whose arrival fell inside the simulated window.
+    pub arrived: usize,
+    /// Requests that completed.
+    pub completed: usize,
+    /// Requests on a GPU when the clock stopped.
+    pub in_flight: usize,
+    /// Requests still waiting in the batcher when the clock stopped.
+    pub queued: usize,
+    /// Final virtual time, µs (last completion, or the horizon).
+    pub end_us: f64,
+    /// Completed requests per second of virtual time.
+    pub throughput_qps: f64,
+    /// End-to-end latency summary over completed requests.
+    pub latency: LatencySummary,
+    /// Waiting-queue depth statistics.
+    pub queue: QueueStats,
+    /// Batch-occupancy statistics.
+    pub batches: BatchStats,
+    /// Per-request outcomes, indexed like the arrival trace.
+    pub records: Vec<RequestRecord>,
+}
+
+impl SimReport {
+    /// Requests whose arrival the horizon cut off.
+    pub fn not_arrived(&self) -> usize {
+        self.offered - self.arrived
+    }
+
+    /// Flow conservation: every offered request is accounted for exactly
+    /// once (completed, in flight, queued, or not yet arrived).
+    pub fn is_conserved(&self) -> bool {
+        self.completed + self.in_flight + self.queued + self.not_arrived() == self.offered
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// Request `id` arrives.
+    Arrival(usize),
+    /// A batch-window timer fires; seal a partial batch if one expired.
+    Flush,
+    /// The batch on `gpu` completes.
+    GpuDone(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time_us: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+// Min-heap ordering on (time, seq): BinaryHeap is a max-heap, so compare
+// reversed. `seq` breaks timestamp ties deterministically (FIFO).
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time_us
+            .total_cmp(&self.time_us)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Event {}
+
+/// A batch occupying a GPU.
+#[derive(Debug, Clone)]
+struct InFlight {
+    dispatch_us: f64,
+    requests: Vec<QueuedRequest>,
+}
+
+struct Engine<'a> {
+    model: &'a SystemModel,
+    workload: &'a Workload,
+    design: DesignPoint,
+    gpus: usize,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    batcher: DynamicBatcher,
+    /// Free GPU ids; popped from the back (lowest id first by construction).
+    free_gpus: Vec<usize>,
+    in_flight: Vec<Option<InFlight>>,
+    in_flight_requests: usize,
+    batch_stats: BatchStats,
+    /// Memoized `price_batch` keyed on (batch size, active GPUs).
+    price_cache: HashMap<(usize, usize), f64>,
+}
+
+impl Engine<'_> {
+    fn push_event(&mut self, time_us: f64, kind: EventKind) {
+        self.heap.push(Event {
+            time_us,
+            seq: self.seq,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    fn service_us(&mut self, batch: usize, active: usize) -> Result<f64, SimError> {
+        if let Some(&us) = self.price_cache.get(&(batch, active)) {
+            return Ok(us);
+        }
+        let cost = price_batch(self.model, self.workload, batch, self.design, active)?;
+        self.price_cache.insert((batch, active), cost.service_us);
+        Ok(cost.service_us)
+    }
+
+    /// Seal and dispatch every ready batch while a GPU is free.
+    ///
+    /// All batches sealed at this instant overlap for their whole
+    /// duration, so the cohort is assigned to GPUs first and priced
+    /// afterwards at the resulting concurrency (batches already in flight
+    /// from earlier events keep their dispatch-time pricing — the model's
+    /// documented approximation).
+    fn dispatch_ready(&mut self, now_us: f64) -> Result<(), SimError> {
+        let mut cohort: Vec<(usize, Vec<QueuedRequest>)> = Vec::new();
+        while !self.free_gpus.is_empty() {
+            let Some(requests) = self.batcher.take_ready_batch(now_us) else {
+                break;
+            };
+            let gpu = self.free_gpus.pop().expect("checked nonempty");
+            cohort.push((gpu, requests));
+        }
+        let active = self.gpus - self.free_gpus.len();
+        for (gpu, requests) in cohort {
+            let service = self.service_us(requests.len(), active)?;
+            self.batch_stats.record(requests.len());
+            self.in_flight_requests += requests.len();
+            self.in_flight[gpu] = Some(InFlight {
+                dispatch_us: now_us,
+                requests,
+            });
+            self.push_event(now_us + service, EventKind::GpuDone(gpu));
+        }
+        Ok(())
+    }
+}
+
+/// Run the simulator: feed `arrivals_us` (sorted, µs) through the batcher
+/// and `cfg.gpus` GPUs of `cfg.design`, pricing each dispatched batch with
+/// the analytic system model.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for unusable knobs,
+/// [`SimError::BadArrival`] for an unsorted/non-finite trace, and
+/// [`SimError::Pricing`] if the system model rejects a batch.
+pub fn simulate(
+    model: &SystemModel,
+    workload: &Workload,
+    cfg: &SimConfig,
+    arrivals_us: &[f64],
+) -> Result<SimReport, SimError> {
+    cfg.validate()?;
+    for (i, &t) in arrivals_us.iter().enumerate() {
+        let sorted = i == 0 || arrivals_us[i - 1] <= t;
+        if !t.is_finite() || t < 0.0 || !sorted {
+            return Err(SimError::BadArrival { index: i });
+        }
+    }
+
+    let n = arrivals_us.len();
+    let mut engine = Engine {
+        model,
+        workload,
+        design: cfg.design,
+        gpus: cfg.gpus,
+        heap: BinaryHeap::with_capacity(2 * n + cfg.gpus),
+        seq: 0,
+        batcher: DynamicBatcher::new(cfg.policy),
+        free_gpus: (0..cfg.gpus).rev().collect(),
+        in_flight: vec![None; cfg.gpus],
+        in_flight_requests: 0,
+        batch_stats: BatchStats::new(cfg.policy.max_batch),
+        price_cache: HashMap::new(),
+    };
+    for (id, &t) in arrivals_us.iter().enumerate() {
+        engine.push_event(t, EventKind::Arrival(id));
+    }
+
+    let mut records: Vec<RequestRecord> = arrivals_us
+        .iter()
+        .map(|&t| RequestRecord {
+            arrival_us: t,
+            completion: None,
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(n);
+    let mut queue_tracker = QueueDepthTracker::default();
+    let mut arrived = 0usize;
+    let mut completed = 0usize;
+    let mut clock_us = 0.0f64;
+    let mut horizon_hit = false;
+
+    while let Some(event) = engine.heap.pop() {
+        if let Some(h) = cfg.horizon_us {
+            if event.time_us > h {
+                horizon_hit = true;
+                break;
+            }
+        }
+        queue_tracker.advance(event.time_us, engine.batcher.depth());
+        clock_us = clock_us.max(event.time_us);
+        match event.kind {
+            EventKind::Arrival(id) => {
+                arrived += 1;
+                engine.batcher.push(QueuedRequest {
+                    id,
+                    arrival_us: event.time_us,
+                });
+                // Arm the batch-window timer for this request's wait budget.
+                engine.push_event(event.time_us + cfg.policy.max_wait_us, EventKind::Flush);
+                engine.dispatch_ready(event.time_us)?;
+            }
+            EventKind::Flush => {
+                engine.dispatch_ready(event.time_us)?;
+            }
+            EventKind::GpuDone(gpu) => {
+                let batch = engine.in_flight[gpu]
+                    .take()
+                    .expect("GpuDone implies a batch in flight");
+                let size = batch.requests.len();
+                for q in &batch.requests {
+                    records[q.id].completion = Some(CompletionRecord {
+                        dispatch_us: batch.dispatch_us,
+                        finish_us: event.time_us,
+                        batch_size: size,
+                        gpu,
+                    });
+                    latencies.push(event.time_us - q.arrival_us);
+                }
+                completed += size;
+                engine.in_flight_requests -= size;
+                engine.free_gpus.push(gpu);
+                engine.dispatch_ready(event.time_us)?;
+            }
+        }
+    }
+
+    let end_us = if horizon_hit {
+        cfg.horizon_us.expect("horizon_hit implies a horizon")
+    } else {
+        clock_us
+    };
+    let queue = queue_tracker.finish(end_us, engine.batcher.depth());
+    let mut batches = engine.batch_stats;
+    batches.finalize();
+    Ok(SimReport {
+        design: cfg.design,
+        gpus: cfg.gpus,
+        policy: cfg.policy,
+        offered: n,
+        arrived,
+        completed,
+        in_flight: engine.in_flight_requests,
+        queued: engine.batcher.depth(),
+        end_us,
+        throughput_qps: if end_us > 0.0 {
+            completed as f64 / (end_us * 1e-6)
+        } else {
+            0.0
+        },
+        latency: LatencySummary::from_latencies(latencies),
+        queue,
+        batches,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalProcess;
+
+    fn model() -> SystemModel {
+        SystemModel::paper_defaults()
+    }
+
+    fn poisson(rate_qps: f64, n: usize, seed: u64) -> Vec<f64> {
+        ArrivalProcess::Poisson { rate_qps }.sample_arrivals_us(n, seed)
+    }
+
+    #[test]
+    fn drains_every_request_and_conserves() {
+        let m = model();
+        let w = Workload::facebook();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 4, BatchPolicy::new(16, 200.0));
+        let arrivals = poisson(100_000.0, 500, 11);
+        let r = simulate(&m, &w, &cfg, &arrivals).expect("valid");
+        assert_eq!(r.offered, 500);
+        assert_eq!(r.completed, 500);
+        assert_eq!(r.queued + r.in_flight, 0);
+        assert!(r.is_conserved());
+        assert_eq!(r.latency.count, 500);
+        assert!(r.end_us >= *arrivals.last().expect("nonempty"));
+    }
+
+    #[test]
+    fn horizon_leaves_work_behind_but_conserves() {
+        let m = model();
+        let w = Workload::facebook();
+        let arrivals = poisson(400_000.0, 800, 13);
+        let mid = arrivals[400];
+        let cfg =
+            SimConfig::new(DesignPoint::Pmem, 2, BatchPolicy::new(16, 200.0)).with_horizon(mid);
+        let r = simulate(&m, &w, &cfg, &arrivals).expect("valid");
+        assert!(r.completed < r.offered, "horizon must cut work off");
+        assert!(r.arrived < r.offered);
+        assert!(r.is_conserved());
+        assert_eq!(r.end_us, mid);
+    }
+
+    #[test]
+    fn deterministic_per_inputs() {
+        let m = model();
+        let w = Workload::youtube();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 4, BatchPolicy::new(32, 300.0));
+        let arrivals = poisson(80_000.0, 400, 21);
+        let a = simulate(&m, &w, &cfg, &arrivals).expect("valid");
+        let b = simulate(&m, &w, &cfg, &arrivals).expect("valid");
+        assert_eq!(a, b, "same inputs must replay bit-identically");
+    }
+
+    #[test]
+    fn record_times_are_ordered_and_batches_bounded() {
+        let m = model();
+        let w = Workload::ncf();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 3, BatchPolicy::new(8, 150.0));
+        let r = simulate(&m, &w, &cfg, &poisson(150_000.0, 300, 5)).expect("valid");
+        for rec in &r.records {
+            let c = rec.completion.expect("drained run completes everything");
+            assert!(c.dispatch_us >= rec.arrival_us);
+            assert!(c.finish_us > c.dispatch_us);
+            assert!(c.batch_size >= 1 && c.batch_size <= 8);
+            assert!(c.gpu < 3);
+        }
+        assert!(r.batches.batches > 0);
+        assert!(r.batches.mean_occupancy >= 1.0);
+        assert!(r.batches.mean_occupancy <= 8.0);
+    }
+
+    #[test]
+    fn gpu_serves_one_batch_at_a_time() {
+        let m = model();
+        let w = Workload::facebook();
+        let cfg = SimConfig::new(DesignPoint::Pmem, 2, BatchPolicy::new(16, 100.0));
+        let r = simulate(&m, &w, &cfg, &poisson(200_000.0, 400, 7)).expect("valid");
+        // Per GPU, batch service intervals must not overlap.
+        for gpu in 0..2 {
+            let mut intervals: Vec<(f64, f64)> = r
+                .records
+                .iter()
+                .filter_map(|rec| rec.completion)
+                .filter(|c| c.gpu == gpu)
+                .map(|c| (c.dispatch_us, c.finish_us))
+                .collect();
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            intervals.dedup();
+            for w in intervals.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].1 - 1e-6,
+                    "gpu {gpu} overlaps: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tdimm_tail_beats_pmem_under_identical_traffic() {
+        let m = model();
+        let w = Workload::facebook();
+        let arrivals = poisson(120_000.0, 600, 31);
+        let policy = BatchPolicy::new(32, 300.0);
+        let t = simulate(
+            &m,
+            &w,
+            &SimConfig::new(DesignPoint::Tdimm, 8, policy),
+            &arrivals,
+        )
+        .expect("valid");
+        let p = simulate(
+            &m,
+            &w,
+            &SimConfig::new(DesignPoint::Pmem, 8, policy),
+            &arrivals,
+        )
+        .expect("valid");
+        assert!(
+            t.latency.p99_us < p.latency.p99_us,
+            "TDIMM p99 {} vs PMEM p99 {}",
+            t.latency.p99_us,
+            p.latency.p99_us
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_a_quiet_no_op() {
+        let m = model();
+        let w = Workload::fox();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 1, BatchPolicy::new(4, 50.0));
+        let r = simulate(&m, &w, &cfg, &[]).expect("valid");
+        assert_eq!(r.offered, 0);
+        assert_eq!(r.completed, 0);
+        assert!(r.is_conserved());
+        assert_eq!(r.throughput_qps, 0.0);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let m = model();
+        let w = Workload::fox();
+        let good = SimConfig::new(DesignPoint::Tdimm, 1, BatchPolicy::new(4, 50.0));
+        assert!(matches!(
+            simulate(&m, &w, &SimConfig { gpus: 0, ..good }, &[]),
+            Err(SimError::InvalidConfig { parameter: "gpus" })
+        ));
+        assert!(matches!(
+            simulate(
+                &m,
+                &w,
+                &SimConfig {
+                    policy: BatchPolicy::new(0, 50.0),
+                    ..good
+                },
+                &[]
+            ),
+            Err(SimError::InvalidConfig {
+                parameter: "max_batch"
+            })
+        ));
+        assert!(matches!(
+            simulate(&m, &w, &good.with_horizon(f64::NAN), &[]),
+            Err(SimError::InvalidConfig {
+                parameter: "horizon_us"
+            })
+        ));
+        assert!(matches!(
+            simulate(&m, &w, &good, &[5.0, 3.0]),
+            Err(SimError::BadArrival { index: 1 })
+        ));
+        assert!(matches!(
+            simulate(&m, &w, &good, &[-1.0]),
+            Err(SimError::BadArrival { index: 0 })
+        ));
+        assert!(!SimError::InvalidConfig { parameter: "gpus" }
+            .to_string()
+            .is_empty());
+    }
+}

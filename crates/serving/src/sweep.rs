@@ -1,0 +1,110 @@
+//! Offered-load sweeps and SLA analysis.
+//!
+//! The serving question the paper's Fig. 6c argument poses at request
+//! granularity: *how much traffic can each design absorb before its tail
+//! latency violates the SLA?* A sweep runs the simulator at increasing
+//! offered loads and reports the latency/throughput curve; the sustainable
+//! QPS is the highest offered load whose p99 stays inside the SLA.
+
+use tensordimm_models::Workload;
+use tensordimm_system::SystemModel;
+
+use crate::arrivals::ArrivalProcess;
+use crate::sim::{simulate, SimConfig, SimError, SimReport};
+
+/// One point of an offered-load sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load the arrival trace was drawn at, queries per second.
+    pub offered_qps: f64,
+    /// The simulation outcome.
+    pub report: SimReport,
+}
+
+/// Simulate `cfg` under Poisson traffic at each rate in `rates_qps`,
+/// `requests` per point, deterministic per `seed` (each rate reuses the
+/// same seed so curves differ only by load).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any point.
+pub fn offered_load_sweep(
+    model: &SystemModel,
+    workload: &Workload,
+    cfg: &SimConfig,
+    rates_qps: &[f64],
+    requests: usize,
+    seed: u64,
+) -> Result<Vec<LoadPoint>, SimError> {
+    rates_qps
+        .iter()
+        .map(|&rate_qps| {
+            let arrivals = ArrivalProcess::Poisson { rate_qps }.sample_arrivals_us(requests, seed);
+            Ok(LoadPoint {
+                offered_qps: rate_qps,
+                report: simulate(model, workload, cfg, &arrivals)?,
+            })
+        })
+        .collect()
+}
+
+/// The highest offered load in `points` whose p99 latency meets
+/// `sla_p99_us` — the design's sustainable QPS at that SLA. `None` when no
+/// point meets it.
+pub fn sustainable_qps(points: &[LoadPoint], sla_p99_us: f64) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| p.report.completed > 0 && p.report.latency.p99_us <= sla_p99_us)
+        .map(|p| p.offered_qps)
+        .fold(None, |best, q| Some(best.map_or(q, |b: f64| b.max(q))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatchPolicy;
+    use tensordimm_system::DesignPoint;
+
+    #[test]
+    fn overload_blows_up_tail_latency() {
+        let model = SystemModel::paper_defaults();
+        let w = Workload::facebook();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 4, BatchPolicy::new(32, 300.0));
+        // 4 GPUs saturate well under 1M qps on Facebook; 5M qps is deep
+        // overload, so the backlog (not the batch window) sets the tail.
+        let points =
+            offered_load_sweep(&model, &w, &cfg, &[10_000.0, 5_000_000.0], 1200, 3).expect("valid");
+        assert!(
+            points[1].report.latency.p99_us > 3.0 * points[0].report.latency.p99_us,
+            "p99 in overload {} vs light load {}",
+            points[1].report.latency.p99_us,
+            points[0].report.latency.p99_us
+        );
+        // Throughput saturates: delivered qps in overload is far below offered.
+        assert!(points[1].report.throughput_qps < 0.5 * points[1].offered_qps);
+    }
+
+    #[test]
+    fn sustainable_qps_picks_highest_passing_rate() {
+        let model = SystemModel::paper_defaults();
+        let w = Workload::youtube();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 8, BatchPolicy::new(32, 300.0));
+        let rates = [10_000.0, 50_000.0, 20_000_000.0];
+        let points = offered_load_sweep(&model, &w, &cfg, &rates, 2000, 9).expect("valid");
+        // An SLA of twice the light-load tail admits the low rates, while
+        // deep overload (20M qps against ~1.4M qps of capacity) blows it.
+        let sla = 2.0 * points[0].report.latency.p99_us;
+        let q = sustainable_qps(&points, sla).expect("low rates meet a generous SLA");
+        assert!(
+            (10_000.0..20_000_000.0).contains(&q),
+            "sustainable {q:.0} qps"
+        );
+        assert!(
+            points[2].report.latency.p99_us > sla,
+            "20M qps p99 {:.0} µs should violate the {sla:.0} µs SLA",
+            points[2].report.latency.p99_us
+        );
+        // An impossible SLA admits nothing.
+        assert_eq!(sustainable_qps(&points, 0.0), None);
+    }
+}

@@ -5,27 +5,59 @@
 //! Run with: `cargo run --release -p tensordimm-system --example calib`
 
 use tensordimm_models::Workload;
-use tensordimm_system::{DesignPoint, SystemModel, geometric_mean};
+use tensordimm_system::{geometric_mean, DesignPoint, SystemModel};
 
 fn main() {
     let m = SystemModel::paper_defaults();
-    println!("{:>10} {:>5} | {:>9} {:>9} {:>9} {:>9} {:>9} | cpu_gbps", "workload", "batch", "CPU-only", "CPU-GPU", "PMEM", "TDIMM", "GPU-only");
-    let mut vs_cpu = vec![]; let mut vs_h = vec![]; let mut vs_o = vec![];
+    println!(
+        "{:>10} {:>5} | {:>9} {:>9} {:>9} {:>9} {:>9} | cpu_gbps",
+        "workload", "batch", "CPU-only", "CPU-GPU", "PMEM", "TDIMM", "GPU-only"
+    );
+    let mut vs_cpu = vec![];
+    let mut vs_h = vec![];
+    let mut vs_o = vec![];
     for w in Workload::all() {
         for b in [1usize, 8, 64, 128] {
-            let t: Vec<f64> = DesignPoint::all().iter().map(|&d| m.evaluate(&w, b, d).total_us()).collect();
-            println!("{:>10} {:>5} | {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} | {:.1}", w.name.to_string(), b, t[0], t[1], t[2], t[3], t[4], m.cpu_gather_gbps(&w));
+            let t: Vec<f64> = DesignPoint::all()
+                .iter()
+                .map(|&d| m.evaluate(&w, b, d).total_us())
+                .collect();
+            println!(
+                "{:>10} {:>5} | {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} | {:.1}",
+                w.name.to_string(),
+                b,
+                t[0],
+                t[1],
+                t[2],
+                t[3],
+                t[4],
+                m.cpu_gather_gbps(&w)
+            );
             if b >= 8 {
-                vs_cpu.push(t[0]/t[3]); vs_h.push(t[1]/t[3]); vs_o.push(t[4]/t[3]);
+                vs_cpu.push(t[0] / t[3]);
+                vs_h.push(t[1] / t[3]);
+                vs_o.push(t[4] / t[3]);
             }
         }
     }
-    println!("geomean (batch>=8): TDIMM vs CPU-only {:.2}x, vs CPU-GPU {:.2}x, frac of oracle {:.2}",
-        geometric_mean(&vs_cpu), geometric_mean(&vs_h), geometric_mean(&vs_o));
+    println!(
+        "geomean (batch>=8): TDIMM vs CPU-only {:.2}x, vs CPU-GPU {:.2}x, frac of oracle {:.2}",
+        geometric_mean(&vs_cpu),
+        geometric_mean(&vs_h),
+        geometric_mean(&vs_o)
+    );
     // Fig 13 breakdown at batch 64 for Facebook
     let w = Workload::facebook();
     for d in DesignPoint::all() {
         let b = m.evaluate(&w, 64, d);
-        println!("{:>9}: lookup {:>8.1} xfer {:>8.1} dnn {:>7.1} other {:>5.1} total {:>8.1}", d.label(), b.lookup_us, b.transfer_us, b.dnn_us, b.other_us, b.total_us());
+        println!(
+            "{:>9}: lookup {:>8.1} xfer {:>8.1} dnn {:>7.1} other {:>5.1} total {:>8.1}",
+            d.label(),
+            b.lookup_us,
+            b.transfer_us,
+            b.dnn_us,
+            b.other_us,
+            b.total_us()
+        );
     }
 }

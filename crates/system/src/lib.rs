@@ -41,7 +41,7 @@ pub mod sweep;
 pub use breakdown::PhaseBreakdown;
 pub use design::DesignPoint;
 pub use model::{SystemModel, SystemModelConfig};
-pub use serving::{node_sharing, sharing_sweep, ServingReport};
+pub use serving::{node_sharing, price_batch, sharing_sweep, BatchCost, ServingReport};
 pub use sweep::{geometric_mean, normalized_performance, speedup_matrix, SweepPoint};
 
 #[cfg(test)]

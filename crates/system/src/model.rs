@@ -124,13 +124,16 @@ impl SystemModel {
         if let Some(&bw) = self.cpu_bw_cache.borrow().get(&key) {
             return bw;
         }
-        let bw = self.config.cpu_gather.effective_bandwidth_gbps(&GatherWorkload {
-            table_bytes: key.0,
-            embedding_bytes: key.1,
-            lookups: self.config.gather_sim_lookups,
-            zipf_s: self.config.zipf_s,
-            seed: 0x7d1,
-        });
+        let bw = self
+            .config
+            .cpu_gather
+            .effective_bandwidth_gbps(&GatherWorkload {
+                table_bytes: key.0,
+                embedding_bytes: key.1,
+                lookups: self.config.gather_sim_lookups,
+                zipf_s: self.config.zipf_s,
+                seed: 0x7d1,
+            });
         self.cpu_bw_cache.borrow_mut().insert(key, bw);
         bw
     }
@@ -180,8 +183,8 @@ impl SystemModel {
             DesignPoint::Pmem => {
                 // Pooled memory without NMP: raw gathered embeddings are
                 // read from the node's DIMMs and cross NVLINK; the GPU pools.
-                let lookup_us = gathered as f64
-                    * us_per_byte(cfg.node_peak_gbps * cfg.pmem_read_utilization);
+                let lookup_us =
+                    gathered as f64 * us_per_byte(cfg.node_peak_gbps * cfg.pmem_read_utilization);
                 let transfer_us = self
                     .config
                     .topology
@@ -276,7 +279,12 @@ mod tests {
         let m = model();
         for w in Workload::all() {
             let oracle = m.evaluate(&w, 64, DesignPoint::GpuOnly).total_us();
-            for d in [DesignPoint::CpuOnly, DesignPoint::CpuGpu, DesignPoint::Pmem, DesignPoint::Tdimm] {
+            for d in [
+                DesignPoint::CpuOnly,
+                DesignPoint::CpuGpu,
+                DesignPoint::Pmem,
+                DesignPoint::Tdimm,
+            ] {
                 assert!(
                     m.evaluate(&w, 64, d).total_us() >= oracle * 0.999,
                     "{d} beat the oracle on {}",
@@ -391,7 +399,12 @@ mod config_tests {
         let t_u = unfused.evaluate(&w, 64, DesignPoint::Tdimm).total_us();
         assert!(t_u > t_f, "unfused {t_u} should exceed fused {t_f}");
         // Non-NMP designs are untouched by the fusion knob.
-        for d in [DesignPoint::CpuOnly, DesignPoint::CpuGpu, DesignPoint::Pmem, DesignPoint::GpuOnly] {
+        for d in [
+            DesignPoint::CpuOnly,
+            DesignPoint::CpuGpu,
+            DesignPoint::Pmem,
+            DesignPoint::GpuOnly,
+        ] {
             assert_eq!(
                 fused.evaluate(&w, 64, d).total_us(),
                 unfused.evaluate(&w, 64, d).total_us(),

@@ -30,39 +30,60 @@ pub struct ServingReport {
     pub port_bound: bool,
 }
 
-/// Estimate node-sharing throughput for a design point.
+/// Cost of one batch dispatched to a GPU while `active_gpus` GPUs in total
+/// (including this one) are concurrently reading from the shared TensorNode.
 ///
-/// Only `Pmem` and `Tdimm` read from the node; other designs are rejected.
+/// This is the per-batch unit the request-level serving simulator prices
+/// every formed batch with; [`node_sharing`] derives its steady-state
+/// round latency from the same quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchCost {
+    /// Wall-clock time from dispatch to completion, µs.
+    pub service_us: f64,
+    /// Whether the node's switch port (rather than its internal DRAM
+    /// bandwidth) is the binding shared resource.
+    pub port_bound: bool,
+}
+
+/// Price one batch for any design point, with `active_gpus` GPUs
+/// concurrently in flight.
+///
+/// For the node-backed designs (`Pmem`, `Tdimm`) the cost applies the
+/// shared-node contention math: the node's internal lookup bandwidth and
+/// its single switch port are divided across all active GPUs. The
+/// remaining designs have no shared TensorNode, so their cost is the solo
+/// [`SystemModel::evaluate`] latency regardless of concurrency (CPU-side
+/// contention for `CpuOnly`/`CpuGpu` is not modeled).
 ///
 /// # Errors
 ///
-/// Returns [`InterconnectError::InvalidLink`] (via [`Switch::new`]) for a
-/// zero-GPU configuration, and [`InterconnectError::NoRoute`] when the
-/// design point does not use the TensorNode.
-pub fn node_sharing(
+/// Returns [`InterconnectError::InvalidLink`] when `active_gpus` is zero.
+pub fn price_batch(
     model: &SystemModel,
     workload: &Workload,
     batch: usize,
     design: DesignPoint,
-    gpus: usize,
-) -> Result<ServingReport, InterconnectError> {
-    if !matches!(design, DesignPoint::Pmem | DesignPoint::Tdimm) {
-        return Err(InterconnectError::NoRoute {
-            from: tensordimm_interconnect::Device::TensorNode,
-            to: tensordimm_interconnect::Device::Cpu,
+    active_gpus: usize,
+) -> Result<BatchCost, InterconnectError> {
+    if active_gpus == 0 {
+        return Err(InterconnectError::InvalidLink {
+            parameter: "active_gpus",
         });
     }
-    if gpus == 0 {
-        return Err(InterconnectError::InvalidLink { parameter: "gpus" });
+    if !matches!(design, DesignPoint::Pmem | DesignPoint::Tdimm) {
+        return Ok(BatchCost {
+            service_us: model.evaluate(workload, batch, design).total_us(),
+            port_bound: false,
+        });
     }
     let link = model.config().topology.gpu_link().clone();
-    let switch = Switch::new(gpus + 1, link)?;
+    let switch = Switch::new(active_gpus + 1, link)?;
     let bytes = match design {
         DesignPoint::Tdimm => workload.pooled_bytes(batch),
         _ => workload.gathered_bytes(batch),
     };
-    // All GPUs pull their transfer from node port 0 concurrently.
-    let flows: Vec<Flow> = (0..gpus)
+    // All active GPUs pull their transfer from node port 0 concurrently.
+    let flows: Vec<Flow> = (0..active_gpus)
         .map(|g| Flow {
             from: 0,
             to: g + 1,
@@ -78,18 +99,46 @@ pub fn node_sharing(
     let other_phases_us = solo.lookup_us + solo.dnn_us + solo.other_us;
     // The node-side lookup phase is also shared: N GPUs' gathers divide the
     // node's internal bandwidth.
-    let shared_lookup_us = solo.lookup_us * gpus as f64;
+    let shared_lookup_us = solo.lookup_us * active_gpus as f64;
     // Per-GPU latency: its own compute + the contended transfer; the
     // node-internal phases pipeline across GPUs, so the effective per-round
     // latency is whichever shared resource saturates first.
-    let latency_us = (other_phases_us + contended_transfer_us)
+    let service_us = (other_phases_us + contended_transfer_us)
         .max(shared_lookup_us + solo.dnn_us + solo.other_us);
-    let port_bound = contended_transfer_us > shared_lookup_us;
+    Ok(BatchCost {
+        service_us,
+        port_bound: contended_transfer_us > shared_lookup_us,
+    })
+}
+
+/// Estimate node-sharing throughput for a design point.
+///
+/// Only `Pmem` and `Tdimm` read from the node; other designs are rejected.
+///
+/// # Errors
+///
+/// Returns [`InterconnectError::InvalidLink`] (via [`price_batch`]) for a
+/// zero-GPU configuration, and [`InterconnectError::NoRoute`] when the
+/// design point does not use the TensorNode.
+pub fn node_sharing(
+    model: &SystemModel,
+    workload: &Workload,
+    batch: usize,
+    design: DesignPoint,
+    gpus: usize,
+) -> Result<ServingReport, InterconnectError> {
+    if !matches!(design, DesignPoint::Pmem | DesignPoint::Tdimm) {
+        return Err(InterconnectError::NoRoute {
+            from: tensordimm_interconnect::Device::TensorNode,
+            to: tensordimm_interconnect::Device::Cpu,
+        });
+    }
+    let cost = price_batch(model, workload, batch, design, gpus)?;
     Ok(ServingReport {
         gpus,
-        latency_us,
-        inferences_per_sec: gpus as f64 / (latency_us * 1e-6),
-        port_bound,
+        latency_us: cost.service_us,
+        inferences_per_sec: gpus as f64 / (cost.service_us * 1e-6),
+        port_bound: cost.port_bound,
     })
 }
 
@@ -123,10 +172,10 @@ mod tests {
     fn tdimm_scales_to_more_gpus_than_pmem() {
         let model = SystemModel::paper_defaults();
         let w = Workload::facebook();
-        let tdimm = sharing_sweep(&model, &w, 64, DesignPoint::Tdimm, &[1, 8, 16])
-            .expect("valid designs");
-        let pmem = sharing_sweep(&model, &w, 64, DesignPoint::Pmem, &[1, 8, 16])
-            .expect("valid designs");
+        let tdimm =
+            sharing_sweep(&model, &w, 64, DesignPoint::Tdimm, &[1, 8, 16]).expect("valid designs");
+        let pmem =
+            sharing_sweep(&model, &w, 64, DesignPoint::Pmem, &[1, 8, 16]).expect("valid designs");
         // Throughput at 16 GPUs relative to 1 GPU: TDIMM keeps scaling,
         // PMEM saturates on the node port.
         let tdimm_scaling = tdimm[2].inferences_per_sec / tdimm[0].inferences_per_sec;
@@ -142,8 +191,8 @@ mod tests {
     fn throughput_grows_monotonically_for_tdimm_small_counts() {
         let model = SystemModel::paper_defaults();
         let w = Workload::youtube();
-        let reports = sharing_sweep(&model, &w, 64, DesignPoint::Tdimm, &[1, 2, 4])
-            .expect("valid designs");
+        let reports =
+            sharing_sweep(&model, &w, 64, DesignPoint::Tdimm, &[1, 2, 4]).expect("valid designs");
         assert!(reports[1].inferences_per_sec > reports[0].inferences_per_sec);
         assert!(reports[2].inferences_per_sec > reports[1].inferences_per_sec);
     }
@@ -152,10 +201,56 @@ mod tests {
     fn non_node_designs_rejected() {
         let model = SystemModel::paper_defaults();
         let w = Workload::ncf();
-        for d in [DesignPoint::CpuOnly, DesignPoint::CpuGpu, DesignPoint::GpuOnly] {
+        for d in [
+            DesignPoint::CpuOnly,
+            DesignPoint::CpuGpu,
+            DesignPoint::GpuOnly,
+        ] {
             assert!(node_sharing(&model, &w, 64, d, 4).is_err(), "{d}");
         }
         assert!(node_sharing(&model, &w, 64, DesignPoint::Tdimm, 0).is_err());
+    }
+
+    #[test]
+    fn price_batch_matches_node_sharing_for_node_designs() {
+        let model = SystemModel::paper_defaults();
+        let w = Workload::facebook();
+        for d in [DesignPoint::Pmem, DesignPoint::Tdimm] {
+            let cost = price_batch(&model, &w, 64, d, 8).expect("valid");
+            let report = node_sharing(&model, &w, 64, d, 8).expect("valid");
+            assert_eq!(cost.service_us, report.latency_us, "{d}");
+            assert_eq!(cost.port_bound, report.port_bound, "{d}");
+        }
+    }
+
+    #[test]
+    fn price_batch_non_node_designs_ignore_concurrency() {
+        let model = SystemModel::paper_defaults();
+        let w = Workload::youtube();
+        for d in [
+            DesignPoint::CpuOnly,
+            DesignPoint::CpuGpu,
+            DesignPoint::GpuOnly,
+        ] {
+            let solo = model.evaluate(&w, 64, d).total_us();
+            for gpus in [1usize, 4, 16] {
+                let cost = price_batch(&model, &w, 64, d, gpus).expect("valid");
+                assert_eq!(cost.service_us, solo, "{d} at {gpus} GPUs");
+                assert!(!cost.port_bound);
+            }
+        }
+        assert!(price_batch(&model, &w, 64, DesignPoint::GpuOnly, 0).is_err());
+    }
+
+    #[test]
+    fn price_batch_contention_grows_with_active_gpus() {
+        let model = SystemModel::paper_defaults();
+        let w = Workload::facebook();
+        for d in [DesignPoint::Pmem, DesignPoint::Tdimm] {
+            let solo = price_batch(&model, &w, 64, d, 1).expect("valid").service_us;
+            let shared = price_batch(&model, &w, 64, d, 8).expect("valid").service_us;
+            assert!(shared > solo, "{d}: shared {shared} vs solo {solo}");
+        }
     }
 
     #[test]

@@ -80,8 +80,18 @@ pub fn speedup_matrix(
             let mut vs_hybrid = Vec::new();
             for w in workloads {
                 let scaled = w.scaled_embeddings(scale);
-                vs_cpu.push(model.speedup(&scaled, batch, DesignPoint::Tdimm, DesignPoint::CpuOnly));
-                vs_hybrid.push(model.speedup(&scaled, batch, DesignPoint::Tdimm, DesignPoint::CpuGpu));
+                vs_cpu.push(model.speedup(
+                    &scaled,
+                    batch,
+                    DesignPoint::Tdimm,
+                    DesignPoint::CpuOnly,
+                ));
+                vs_hybrid.push(model.speedup(
+                    &scaled,
+                    batch,
+                    DesignPoint::Tdimm,
+                    DesignPoint::CpuGpu,
+                ));
             }
             rows.push((
                 scale,

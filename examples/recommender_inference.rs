@@ -76,7 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("modeled end-to-end latency at production scale (batch 64, 5M-row tables):");
     let model = SystemModel::paper_defaults();
-    let oracle = model.evaluate(&workload, 64, DesignPoint::GpuOnly).total_us();
+    let oracle = model
+        .evaluate(&workload, 64, DesignPoint::GpuOnly)
+        .total_us();
     for design in DesignPoint::all() {
         let b = model.evaluate(&workload, 64, design);
         println!(

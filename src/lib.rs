@@ -17,7 +17,10 @@
 //! * [`models`] — the four recommender workloads of Table 2 plus device
 //!   compute models,
 //! * [`system`] — the five end-to-end design points (`CPU-only`, `CPU-GPU`,
-//!   `PMEM`, `TDIMM`, `GPU-only`) evaluated in the paper.
+//!   `PMEM`, `TDIMM`, `GPU-only`) evaluated in the paper,
+//! * [`serving`] — request-level discrete-event serving simulator: arrival
+//!   processes, dynamic batching, multi-GPU dispatch and tail-latency
+//!   metrics over the system model.
 //!
 //! # Quickstart
 //!
@@ -54,4 +57,5 @@ pub use tensordimm_interconnect as interconnect;
 pub use tensordimm_isa as isa;
 pub use tensordimm_models as models;
 pub use tensordimm_nmp as nmp;
+pub use tensordimm_serving as serving;
 pub use tensordimm_system as system;

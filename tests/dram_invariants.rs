@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use tensordimm::dram::{
-    DramConfig, MappingScheme, MemorySystem, Request, Trace, TraceRunner,
-};
+use tensordimm::dram::{DramConfig, MappingScheme, MemorySystem, Request, Trace, TraceRunner};
 
 fn arb_geometry() -> impl Strategy<Value = tensordimm::dram::config::Geometry> {
     (0u32..2, 0u32..3, 1u32..3, 1u32..3, 8u32..12, 5u32..8).prop_map(

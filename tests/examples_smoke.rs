@@ -11,13 +11,14 @@ use tensordimm::interconnect::Link;
 
 #[test]
 fn quickstart_flow_runs_to_completion() {
-    let mut node =
-        TensorNode::new(TensorNodeConfig::small()).expect("small config is valid");
+    let mut node = TensorNode::new(TensorNodeConfig::small()).expect("small config is valid");
     assert_eq!(node.dimms(), 4);
     assert!(node.peak_gbps() > 0.0);
     assert!(node.power_watts() > 0.0);
 
-    let users = node.create_table("users", 1000, 64).expect("fits the small pool");
+    let users = node
+        .create_table("users", 1000, 64)
+        .expect("fits the small pool");
     node.fill_table(&users, |row, col| (row as f32).sin() + col as f32 * 1e-3)
         .expect("table was just created");
     assert_eq!(users.rows(), 1000);
@@ -38,7 +39,7 @@ fn quickstart_flow_runs_to_completion() {
     assert!(transfer.time_us > 0.0);
 
     let host = node.read_tensor(&combined).expect("tensor is live");
-    assert_eq!(host.len(), combined.count() as usize * combined.dim() as usize);
+    assert_eq!(host.len(), combined.count() as usize * combined.dim());
     // REDUCE(Add) of the pooled tensor with itself doubles every element.
     let expected0 = {
         let pooled_host = node.read_tensor(&pooled).expect("tensor is live");

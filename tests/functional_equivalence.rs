@@ -18,7 +18,8 @@ fn check_workflow(dimms: u64, dim: usize, rows: u64, batch: usize, group: u64) {
     let golden_table = EmbeddingTable::seeded("t", rows, dim, dimms ^ dim as u64);
     let mut n = node(dimms);
     let handle = n.create_table("t", rows, dim).expect("fits pool");
-    n.load_table(&handle, golden_table.data()).expect("shape matches");
+    n.load_table(&handle, golden_table.data())
+        .expect("shape matches");
 
     let mut stream = IndexStream::new(Distribution::Zipfian { s: 0.8 }, rows, 7);
     let indices = stream.batch(batch);
@@ -35,8 +36,7 @@ fn check_workflow(dimms: u64, dim: usize, rows: u64, batch: usize, group: u64) {
     // AVERAGE
     if (batch as u64).is_multiple_of(group) {
         let pooled = n.average(&gathered, group).expect("divisible");
-        let golden_pooled =
-            ops::average(&golden_gathered, group as usize, dim).expect("divisible");
+        let golden_pooled = ops::average(&golden_gathered, group as usize, dim).expect("divisible");
         let got = n.read_tensor(&pooled).expect("readable");
         assert_eq!(got.len(), golden_pooled.len());
         for (a, b) in got.iter().zip(&golden_pooled) {
@@ -47,8 +47,8 @@ fn check_workflow(dimms: u64, dim: usize, rows: u64, batch: usize, group: u64) {
     // REDUCE (all operators)
     for op in ReduceOp::all() {
         let reduced = n.reduce(&gathered, &gathered, op).expect("same shape");
-        let golden_reduced = ops::reduce(&golden_gathered, &golden_gathered, op)
-            .expect("same shape");
+        let golden_reduced =
+            ops::reduce(&golden_gathered, &golden_gathered, op).expect("same shape");
         assert_eq!(
             n.read_tensor(&reduced).expect("readable"),
             golden_reduced,

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use tensordimm::isa::{
-    decode, encode, execute_on_dimm, execute_on_node, AccessPlan, DimmContext, Instruction,
-    ReduceOp, TensorMemory, VecMemory,
+    decode, decode_bytes, encode, execute_on_dimm, execute_on_node, AccessPlan, DimmContext,
+    EncodedInstruction, Instruction, IsaError, ReduceOp, TensorMemory, VecMemory,
 };
 
 fn arb_reduce_op() -> impl Strategy<Value = ReduceOp> {
@@ -19,32 +19,54 @@ fn arb_reduce_op() -> impl Strategy<Value = ReduceOp> {
 }
 
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    let gather = (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 30, 1u64..1 << 20, 1u64..1024).prop_map(
-        |(table_base, idx_base, output_base, count, vec_blocks)| Instruction::Gather {
-            table_base,
-            idx_base,
-            output_base,
-            count,
-            vec_blocks,
-        },
-    );
-    let reduce = (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 30, 1u64..1 << 20, arb_reduce_op())
-        .prop_map(|(input1, input2, output_base, count, op)| Instruction::Reduce {
-            input1,
-            input2,
-            output_base,
-            count,
-            op,
+    let gather = (
+        0u64..1 << 30,
+        0u64..1 << 30,
+        0u64..1 << 30,
+        1u64..1 << 20,
+        1u64..1024,
+    )
+        .prop_map(|(table_base, idx_base, output_base, count, vec_blocks)| {
+            Instruction::Gather {
+                table_base,
+                idx_base,
+                output_base,
+                count,
+                vec_blocks,
+            }
         });
-    let average = (0u64..1 << 30, 0u64..1 << 30, 1u64..1 << 16, 1u64..256, 1u64..1024).prop_map(
-        |(input_base, output_base, count, group, vec_blocks)| Instruction::Average {
-            input_base,
-            output_base,
-            count,
-            group,
-            vec_blocks,
-        },
-    );
+    let reduce = (
+        0u64..1 << 30,
+        0u64..1 << 30,
+        0u64..1 << 30,
+        1u64..1 << 20,
+        arb_reduce_op(),
+    )
+        .prop_map(
+            |(input1, input2, output_base, count, op)| Instruction::Reduce {
+                input1,
+                input2,
+                output_base,
+                count,
+                op,
+            },
+        );
+    let average = (
+        0u64..1 << 30,
+        0u64..1 << 30,
+        1u64..1 << 16,
+        1u64..256,
+        1u64..1024,
+    )
+        .prop_map(
+            |(input_base, output_base, count, group, vec_blocks)| Instruction::Average {
+                input_base,
+                output_base,
+                count,
+                group,
+                vec_blocks,
+            },
+        );
     prop_oneof![gather, reduce, average]
 }
 
@@ -56,6 +78,67 @@ proptest! {
     fn wire_roundtrip(instr in arb_instruction()) {
         let wire = encode(&instr).expect("fields fit the format by construction");
         prop_assert_eq!(decode(&wire).expect("just encoded"), instr);
+    }
+
+    /// The byte-level wire format also round-trips bit-exactly: encode →
+    /// serialize → deserialize → decode is the identity.
+    #[test]
+    fn wire_byte_roundtrip(instr in arb_instruction()) {
+        let bytes = encode(&instr).expect("fields fit").to_bytes();
+        prop_assert_eq!(bytes.len(), EncodedInstruction::BYTES);
+        prop_assert_eq!(decode_bytes(&bytes).expect("just serialized"), instr);
+    }
+
+    /// Any truncated (or padded) buffer is rejected with `WireLength` —
+    /// never mis-parsed, never panicking.
+    #[test]
+    fn truncated_buffers_rejected(instr in arb_instruction(), cut in 0usize..40) {
+        let bytes = encode(&instr).expect("fields fit").to_bytes();
+        prop_assert_eq!(
+            decode_bytes(&bytes[..cut]),
+            Err(IsaError::WireLength { len: cut, expected: EncodedInstruction::BYTES })
+        );
+        let mut padded = bytes.to_vec();
+        padded.extend_from_slice(&bytes[..cut.max(1)]);
+        let verdict = decode_bytes(&padded);
+        prop_assert!(
+            matches!(verdict, Err(IsaError::WireLength { .. })),
+            "padded buffer was accepted: {verdict:?}"
+        );
+    }
+
+    /// Corrupting any single byte of a valid wire never panics: the result
+    /// is either a clean decode error or a decoded instruction that
+    /// re-encodes onto the observed bytes (i.e. the corruption landed on a
+    /// meaningful field, not in dead padding the decoder ignores —
+    /// AVERAGE's unused AUX word and REDUCE's vec_blocks lanes are the
+    /// exceptions that decode but re-encode canonically).
+    #[test]
+    fn corrupted_buffers_never_panic(
+        instr in arb_instruction(),
+        pos in 0usize..40,
+        flip in 1u8..255,
+    ) {
+        let mut bytes = encode(&instr).expect("fields fit").to_bytes();
+        bytes[pos] ^= flip;
+        match decode_bytes(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => {
+                // A successful decode must be internally consistent: the
+                // instruction re-encodes without a field overflow.
+                let reencoded = encode(&decoded).expect("decoded fields fit the format");
+                prop_assert!(!reencoded.to_bytes().is_empty());
+            }
+        }
+    }
+
+    /// Fully arbitrary 40-byte garbage never panics the decoder.
+    #[test]
+    fn random_buffers_never_panic(
+        words in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+    ) {
+        let wire = EncodedInstruction::from_words([words.0, words.1, words.2, words.3, words.4]);
+        let _ = decode_bytes(&wire.to_bytes());
     }
 
     /// Executing slices tid = 0..node_dim in *any* order produces the same

@@ -1,0 +1,212 @@
+//! Property-based tests over the request-level serving simulator:
+//! virtual-time sanity, flow conservation, determinism, tail ordering and
+//! throughput bounds, across randomized workloads, fleet sizes, batching
+//! policies, arrival processes and offered loads.
+
+use proptest::prelude::*;
+
+use tensordimm::models::{Workload, WorkloadName};
+use tensordimm::serving::{simulate, ArrivalProcess, BatchPolicy, SimConfig};
+use tensordimm::system::{DesignPoint, SystemModel};
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        Just(WorkloadName::Ncf),
+        Just(WorkloadName::YouTube),
+        Just(WorkloadName::Fox),
+        Just(WorkloadName::Facebook),
+    ]
+    .prop_map(Workload::by_name)
+}
+
+fn arb_design() -> impl Strategy<Value = DesignPoint> {
+    prop_oneof![
+        Just(DesignPoint::Tdimm),
+        Just(DesignPoint::Pmem),
+        Just(DesignPoint::GpuOnly),
+    ]
+}
+
+fn arb_process() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        (5_000.0f64..2_000_000.0).prop_map(|rate_qps| ArrivalProcess::Poisson { rate_qps }),
+        ((5_000.0f64..2_000_000.0), (1.0f64..24.0)).prop_map(|(rate_qps, mean_burst)| {
+            ArrivalProcess::Bursty {
+                rate_qps,
+                mean_burst,
+            }
+        }),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = BatchPolicy> {
+    ((1usize..64), (0.0f64..2_000.0)).prop_map(|(max_batch, max_wait_us)| BatchPolicy {
+        max_batch,
+        max_wait_us,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Virtual time only moves forward: every request is dispatched no
+    /// earlier than it arrived and finishes strictly after dispatch, and
+    /// per GPU the service intervals never overlap.
+    #[test]
+    fn virtual_time_is_monotone(
+        workload in arb_workload(),
+        design in arb_design(),
+        process in arb_process(),
+        policy in arb_policy(),
+        gpus in 1usize..9,
+        n in 50usize..300,
+        seed in 0u64..1000,
+    ) {
+        let model = SystemModel::paper_defaults();
+        let cfg = SimConfig::new(design, gpus, policy);
+        let arrivals = process.sample_arrivals_us(n, seed);
+        let report = simulate(&model, &workload, &cfg, &arrivals).expect("valid inputs");
+        let mut per_gpu: Vec<Vec<(f64, f64)>> = vec![Vec::new(); gpus];
+        for rec in &report.records {
+            let c = rec.completion.expect("no horizon: everything completes");
+            prop_assert!(c.dispatch_us >= rec.arrival_us - 1e-6);
+            prop_assert!(c.finish_us > c.dispatch_us);
+            prop_assert!(c.finish_us <= report.end_us + 1e-6);
+            per_gpu[c.gpu].push((c.dispatch_us, c.finish_us));
+        }
+        for intervals in &mut per_gpu {
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            intervals.dedup();
+            for w in intervals.windows(2) {
+                prop_assert!(
+                    w[1].0 >= w[0].1 - 1e-6,
+                    "GPU served two batches at once: {:?} then {:?}", w[0], w[1]
+                );
+            }
+        }
+    }
+
+    /// Requests in = completed + queued + in flight + not yet arrived,
+    /// with and without a horizon cutting the run short.
+    #[test]
+    fn requests_are_conserved(
+        workload in arb_workload(),
+        design in arb_design(),
+        process in arb_process(),
+        policy in arb_policy(),
+        gpus in 1usize..9,
+        n in 50usize..300,
+        seed in 0u64..1000,
+        horizon_frac in 0.0f64..1.5,
+    ) {
+        let model = SystemModel::paper_defaults();
+        let arrivals = process.sample_arrivals_us(n, seed);
+        let full = SimConfig::new(design, gpus, policy);
+        let report = simulate(&model, &workload, &full, &arrivals).expect("valid inputs");
+        prop_assert!(report.is_conserved());
+        prop_assert_eq!(report.completed, n, "no horizon: everything drains");
+        prop_assert_eq!(report.queued + report.in_flight, 0);
+
+        // A horizon somewhere inside (or past) the run must still account
+        // for every request exactly once.
+        let horizon = report.end_us * horizon_frac;
+        let cut = simulate(&model, &workload, &full.with_horizon(horizon), &arrivals)
+            .expect("valid inputs");
+        prop_assert!(
+            cut.is_conserved(),
+            "offered {} != completed {} + in_flight {} + queued {} + not_arrived {}",
+            cut.offered, cut.completed, cut.in_flight, cut.queued, cut.not_arrived()
+        );
+        prop_assert!(cut.completed <= report.completed);
+    }
+
+    /// Bit-identical replay under a fixed seed, and a different arrival
+    /// seed genuinely changes the trace.
+    #[test]
+    fn fixed_seed_is_deterministic(
+        workload in arb_workload(),
+        design in arb_design(),
+        process in arb_process(),
+        policy in arb_policy(),
+        gpus in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let model = SystemModel::paper_defaults();
+        let cfg = SimConfig::new(design, gpus, policy);
+        let arrivals = process.sample_arrivals_us(120, seed);
+        let a = simulate(&model, &workload, &cfg, &arrivals).expect("valid inputs");
+        let b = simulate(&model, &workload, &cfg, &arrivals).expect("valid inputs");
+        prop_assert_eq!(a, b);
+        prop_assert_ne!(
+            process.sample_arrivals_us(120, seed),
+            process.sample_arrivals_us(120, seed + 1)
+        );
+    }
+
+    /// Tail ordering: p50 <= p95 <= p99 <= max, and every percentile is a
+    /// latency some request actually saw.
+    #[test]
+    fn percentiles_are_ordered(
+        workload in arb_workload(),
+        design in arb_design(),
+        process in arb_process(),
+        policy in arb_policy(),
+        gpus in 1usize..9,
+        n in 50usize..300,
+        seed in 0u64..1000,
+    ) {
+        let model = SystemModel::paper_defaults();
+        let cfg = SimConfig::new(design, gpus, policy);
+        let arrivals = process.sample_arrivals_us(n, seed);
+        let r = simulate(&model, &workload, &cfg, &arrivals).expect("valid inputs");
+        let l = &r.latency;
+        prop_assert!(l.p50_us <= l.p95_us);
+        prop_assert!(l.p95_us <= l.p99_us);
+        prop_assert!(l.p99_us <= l.max_us);
+        prop_assert!(l.p50_us > 0.0);
+        let latencies: Vec<f64> = r
+            .records
+            .iter()
+            .filter_map(|rec| rec.latency_us())
+            .collect();
+        for p in [l.p50_us, l.p95_us, l.p99_us, l.max_us] {
+            prop_assert!(
+                latencies.iter().any(|&x| (x - p).abs() < 1e-9),
+                "percentile {p} is not an observed latency"
+            );
+        }
+    }
+
+    /// The system never completes work faster than it was offered: with at
+    /// least two arrivals, delivered throughput cannot exceed the realized
+    /// offered rate (completions can't outpace the open loop feeding them).
+    #[test]
+    fn throughput_bounded_by_offered_load(
+        workload in arb_workload(),
+        design in arb_design(),
+        process in arb_process(),
+        policy in arb_policy(),
+        gpus in 1usize..9,
+        n in 50usize..300,
+        seed in 0u64..1000,
+    ) {
+        let model = SystemModel::paper_defaults();
+        let cfg = SimConfig::new(design, gpus, policy);
+        let arrivals = process.sample_arrivals_us(n, seed);
+        let span_us = arrivals[arrivals.len() - 1] - arrivals[0];
+        prop_assume!(span_us > 1.0);
+        let r = simulate(&model, &workload, &cfg, &arrivals).expect("valid inputs");
+        let offered_qps = n as f64 / (span_us * 1e-6);
+        prop_assert!(
+            r.throughput_qps <= offered_qps * (1.0 + 1e-9),
+            "delivered {:.0} qps exceeds offered {:.0} qps",
+            r.throughput_qps,
+            offered_qps
+        );
+        // Batch occupancy never exceeds the policy.
+        for rec in &r.records {
+            let c = rec.completion.expect("drained");
+            prop_assert!(c.batch_size >= 1 && c.batch_size <= policy.max_batch);
+        }
+    }
+}

@@ -17,7 +17,11 @@ fn fig14_tdimm_close_to_oracle_everywhere() {
             let frac = model.normalized(&w, b, DesignPoint::Tdimm);
             // Paper: TDIMM averages 84% of the oracle and never drops
             // below 75%.
-            assert!(frac > 0.7, "{} batch {b}: TDIMM at {frac:.2} of oracle", w.name);
+            assert!(
+                frac > 0.7,
+                "{} batch {b}: TDIMM at {frac:.2} of oracle",
+                w.name
+            );
             fracs.push(frac);
         }
     }
@@ -30,8 +34,16 @@ fn fig14_design_ordering_at_batch_64() {
     let model = SystemModel::paper_defaults();
     for w in Workload::all() {
         let t = |d| model.evaluate(&w, 64, d).total_us();
-        assert!(t(DesignPoint::GpuOnly) <= t(DesignPoint::Tdimm) * 1.001, "{}", w.name);
-        assert!(t(DesignPoint::Tdimm) <= t(DesignPoint::Pmem) * 1.02, "{}", w.name);
+        assert!(
+            t(DesignPoint::GpuOnly) <= t(DesignPoint::Tdimm) * 1.001,
+            "{}",
+            w.name
+        );
+        assert!(
+            t(DesignPoint::Tdimm) <= t(DesignPoint::Pmem) * 1.02,
+            "{}",
+            w.name
+        );
         assert!(t(DesignPoint::Pmem) < t(DesignPoint::CpuGpu), "{}", w.name);
     }
 }
@@ -74,8 +86,14 @@ fn fig15_speedups_grow_with_embedding_scale() {
     let rows = speedup_matrix(&model, &Workload::all(), &[1, 2, 4, 8], &[64]);
     let per_scale: Vec<(f64, f64)> = rows.iter().map(|&(_, _, c, h)| (c, h)).collect();
     for pair in per_scale.windows(2) {
-        assert!(pair[1].0 > pair[0].0, "vs CPU-only not monotone: {per_scale:?}");
-        assert!(pair[1].1 > pair[0].1, "vs CPU-GPU not monotone: {per_scale:?}");
+        assert!(
+            pair[1].0 > pair[0].0,
+            "vs CPU-only not monotone: {per_scale:?}"
+        );
+        assert!(
+            pair[1].1 > pair[0].1,
+            "vs CPU-GPU not monotone: {per_scale:?}"
+        );
     }
     // Paper band at 1x: 6.2x / 8.9x.
     let (c1, h1) = per_scale[0];
@@ -85,8 +103,8 @@ fn fig15_speedups_grow_with_embedding_scale() {
 
 #[test]
 fn fig16_pmem_is_far_more_link_sensitive_than_tdimm() {
-    let slow_link = Topology::dgx_like(8)
-        .with_gpu_link(Link::nvlink_class(25.0).expect("positive bandwidth"));
+    let slow_link =
+        Topology::dgx_like(8).with_gpu_link(Link::nvlink_class(25.0).expect("positive bandwidth"));
     let slow = SystemModel::paper_defaults().with_topology(slow_link);
     let fast = SystemModel::paper_defaults();
     let mut pmem_losses = Vec::new();

@@ -7,10 +7,8 @@ use tensordimm::nmp::{NmpConfig, NmpCore};
 
 #[test]
 fn node_bandwidth_never_exceeds_peak() {
-    let mut node = TensorNode::new(
-        TensorNodeConfig::paper().with_pool_blocks(1 << 20),
-    )
-    .expect("valid config");
+    let mut node =
+        TensorNode::new(TensorNodeConfig::paper().with_pool_blocks(1 << 20)).expect("valid config");
     let t = node.create_table("t", 4096, 512).expect("fits");
     let idx: Vec<u64> = (0..512u64).map(|i| (i * 97) % 4096).collect();
     let g = node.gather(&t, &idx).expect("in range");
@@ -79,7 +77,8 @@ fn functional_and_replay_modes_agree_on_values() {
         let cfg = TensorNodeConfig::small().with_timing(timing);
         let mut node = TensorNode::new(cfg).expect("valid");
         let t = node.create_table("t", 128, 64).expect("fits");
-        node.fill_table(&t, |r, c| (r * 7 + c as u64) as f32).expect("valid");
+        node.fill_table(&t, |r, c| (r * 7 + c as u64) as f32)
+            .expect("valid");
         let g = node.gather(&t, &[1, 3, 5, 7]).expect("in range");
         let a = node.average(&g, 2).expect("divisible");
         node.read_tensor(&a).expect("readable")

@@ -91,7 +91,13 @@ impl BenchmarkGroup<'_> {
         name: impl Into<String>,
         mut f: F,
     ) -> &mut Self {
-        run_one(&self.name, &name.into(), self.sample_size, self.throughput, &mut f);
+        run_one(
+            &self.name,
+            &name.into(),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
         self
     }
 
@@ -139,10 +145,16 @@ fn run_one<F: FnMut(&mut Bencher)>(
     f: &mut F,
 ) {
     // One warm-up pass, then `sample_size` timed iterations in one batch.
-    let mut warmup = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut warmup = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut warmup);
 
-    let mut timed = Bencher { iters: sample_size as u64, elapsed: Duration::ZERO };
+    let mut timed = Bencher {
+        iters: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
     f(&mut timed);
     let per_iter = timed.elapsed.as_secs_f64() / sample_size as f64;
 

@@ -86,14 +86,20 @@ where
     }
 }
 
+/// One boxed alternative of a [`Union`].
+pub type UnionVariant<T> = Box<dyn Fn(&mut Prng) -> T>;
+
 /// Uniform choice between boxed alternatives — built by [`prop_oneof!`].
 pub struct Union<T> {
-    variants: Vec<Box<dyn Fn(&mut Prng) -> T>>,
+    variants: Vec<UnionVariant<T>>,
 }
 
 impl<T> Union<T> {
-    pub fn new(variants: Vec<Box<dyn Fn(&mut Prng) -> T>>) -> Self {
-        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+    pub fn new(variants: Vec<UnionVariant<T>>) -> Self {
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
         Union { variants }
     }
 }

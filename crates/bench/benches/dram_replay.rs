@@ -26,16 +26,31 @@ fn bench_dram(c: &mut Criterion) {
     let mut group = c.benchmark_group("dram_replay");
     group.sample_size(20);
     group.throughput(Throughput::Elements(REQUESTS));
+    // The default runner now rides the event-driven engine; the
+    // `*_tick_oracle` variants keep the cycle-stepped baseline visible so
+    // regressions in the skip logic show up as a vanishing gap.
     group.bench_function("sequential_4k_reads", |b| {
         b.iter(|| {
             let mem = MemorySystem::new(DramConfig::ddr4_3200_channel()).expect("valid config");
             TraceRunner::new(mem).run(&seq).expect("in range")
         })
     });
+    group.bench_function("sequential_4k_reads_tick_oracle", |b| {
+        b.iter(|| {
+            let mem = MemorySystem::new(DramConfig::ddr4_3200_channel()).expect("valid config");
+            TraceRunner::new(mem).run_ticked(&seq).expect("in range")
+        })
+    });
     group.bench_function("random_4k_reads", |b| {
         b.iter(|| {
             let mem = MemorySystem::new(DramConfig::ddr4_3200_channel()).expect("valid config");
             TraceRunner::new(mem).run(&rnd).expect("in range")
+        })
+    });
+    group.bench_function("random_4k_reads_tick_oracle", |b| {
+        b.iter(|| {
+            let mem = MemorySystem::new(DramConfig::ddr4_3200_channel()).expect("valid config");
+            TraceRunner::new(mem).run_ticked(&rnd).expect("in range")
         })
     });
     group.bench_function("eight_channel_sequential", |b| {

@@ -115,15 +115,13 @@ pub fn tensornode_gbps(exp: &OpExperiment, dimms: u64) -> f64 {
     stats.achieved_gbps() * dimms as f64
 }
 
-/// Achieved CPU-memory bandwidth (GB/s) for the same logical operation
-/// over a conventional `channels`-channel system with `ranks_per_channel`
-/// ranks (DIMMs) per channel.
-pub fn cpu_gbps(exp: &OpExperiment, channels: usize, ranks_per_channel: usize) -> f64 {
-    let mut cfg = deep_queues(DramConfig::cpu_memory(channels));
-    cfg.geometry.ranks_per_channel = ranks_per_channel;
-    cfg.mapping = tensordimm_dram::MappingScheme::channel_interleaved(&cfg.geometry);
+/// The block-level trace of one experiment's logical operation over a
+/// memory of `capacity` bytes — the exact stream [`cpu_gbps`] (and hence
+/// the Fig. 4 / Fig. 11 harnesses) replays. Public so perf harnesses like
+/// `perf_dram_engine` can feed the identical trace through both the
+/// tick-stepped and the event-driven engine paths.
+pub fn op_trace(exp: &OpExperiment, capacity: u64) -> Trace {
     let vec_bytes = exp.vec_blocks * 64;
-    let capacity = cfg.capacity_bytes();
     // Operand regions, clamped into capacity.
     let table_bytes = (exp.table_rows * vec_bytes).min(capacity / 4);
     let region = capacity / 4;
@@ -153,6 +151,17 @@ pub fn cpu_gbps(exp: &OpExperiment, channels: usize, ranks_per_channel: usize) -
             }
         }
     }
+    trace
+}
+
+/// Achieved CPU-memory bandwidth (GB/s) for the same logical operation
+/// over a conventional `channels`-channel system with `ranks_per_channel`
+/// ranks (DIMMs) per channel.
+pub fn cpu_gbps(exp: &OpExperiment, channels: usize, ranks_per_channel: usize) -> f64 {
+    let mut cfg = deep_queues(DramConfig::cpu_memory(channels));
+    cfg.geometry.ranks_per_channel = ranks_per_channel;
+    cfg.mapping = tensordimm_dram::MappingScheme::channel_interleaved(&cfg.geometry);
+    let trace = op_trace(exp, cfg.capacity_bytes());
     let mem = MemorySystem::new(cfg).expect("cpu memory config is valid");
     let mut runner = TraceRunner::new(mem);
     let stats = runner.run(&trace).expect("trace addresses are in range");

@@ -213,6 +213,31 @@ impl Rank {
             .max(self.refresh_busy_until)
     }
 
+    /// Earliest cycle at or after `now` at which this rank's refresh
+    /// machinery could act or change state: the pending deadline if the
+    /// rank is not yet due, otherwise the earliest cycle an open bank can
+    /// be precharged (refresh requires all banks closed), or — once all
+    /// banks are closed — the earliest cycle REFRESH itself may issue.
+    ///
+    /// A return value `<= now` means the machinery can act right now.
+    pub fn next_refresh_event(&self, now: u64) -> u64 {
+        if now < self.next_refresh_due {
+            return self.next_refresh_due;
+        }
+        if self.all_banks_closed() {
+            return self.earliest_refresh();
+        }
+        let mut earliest = u64::MAX;
+        for (idx, bank) in self.banks.iter().enumerate() {
+            if bank.open_row.is_some() {
+                let bg = idx / self.banks_per_group;
+                let b = idx % self.banks_per_group;
+                earliest = earliest.min(self.earliest_precharge(bg, b));
+            }
+        }
+        earliest
+    }
+
     /// Record a REFRESH issued at `cycle`.
     pub fn record_refresh(&mut self, t: &DramTiming, cycle: u64) {
         self.refresh_busy_until = cycle + t.trfc;
@@ -301,5 +326,18 @@ mod tests {
     fn closed_rank_is_refreshable_immediately() {
         let r = rank();
         assert_eq!(r.earliest_refresh(), 0);
+    }
+
+    #[test]
+    fn next_refresh_event_tracks_machinery_state() {
+        let t = DramTiming::ddr4_3200();
+        let mut r = rank();
+        // Before the deadline: the event is the deadline itself.
+        assert_eq!(r.next_refresh_event(0), 12480);
+        // Past the deadline with all banks closed: refresh-ready time.
+        assert_eq!(r.next_refresh_event(12480), r.earliest_refresh());
+        // An open bank gates the event on its earliest precharge.
+        r.record_activate(&t, 1, 2, 12000, 9);
+        assert_eq!(r.next_refresh_event(12480), 12000 + t.tras);
     }
 }

@@ -50,47 +50,72 @@ impl ChannelState {
         }
     }
 
-    fn bus_ready(&self, t: &DramTiming, rank: usize, data_start: u64) -> bool {
+    /// Earliest cycle the shared data bus admits a burst from `rank` whose
+    /// data starts `data_lat` cycles after the command.
+    fn bus_free_from(&self, t: &DramTiming, rank: usize, data_lat: u64) -> u64 {
         match self.last_burst {
-            None => true,
+            None => 0,
             Some(b) => {
                 let gap = if b.rank != rank { t.tcs } else { 0 };
-                data_start >= b.end + gap
+                (b.end + gap).saturating_sub(data_lat)
             }
+        }
+    }
+
+    /// Earliest cycle at which `cmd` could issue to `addr` given the
+    /// current channel state, or `None` when the command is structurally
+    /// impossible right now (column access to a closed or mismatched row).
+    ///
+    /// This is the primitive behind the event-driven engine: between
+    /// command issues all timing state is frozen, so the value stays exact
+    /// until the next state change. [`ChannelState::can_issue`] is defined
+    /// as `earliest_issue(..) <= cycle`, which keeps the fast path and the
+    /// tick oracle incapable of disagreeing.
+    pub fn earliest_issue(&self, t: &DramTiming, cmd: DramCommand, addr: &DramAddr) -> Option<u64> {
+        let rank = &self.ranks[addr.rank];
+        match cmd {
+            DramCommand::Activate => Some(rank.earliest_activate(t, addr.bank_group, addr.bank)),
+            DramCommand::Precharge => Some(rank.earliest_precharge(addr.bank_group, addr.bank)),
+            DramCommand::PrechargeAll => {
+                let mut earliest = rank.refresh_busy_until;
+                for bg in 0..self.bank_groups {
+                    for b in 0..self.banks_per_group {
+                        earliest = earliest.max(rank.earliest_precharge(bg, b));
+                    }
+                }
+                Some(earliest)
+            }
+            DramCommand::Read | DramCommand::ReadAp => {
+                let bank = &rank.banks[rank.bank_index(addr.bank_group, addr.bank)];
+                if bank.open_row != Some(addr.row) {
+                    return None;
+                }
+                let earliest = rank
+                    .earliest_read(t, addr.bank_group, addr.bank)
+                    .max(self.bus_free_from(t, addr.rank, t.cl));
+                Some(earliest)
+            }
+            DramCommand::Write | DramCommand::WriteAp => {
+                let bank = &rank.banks[rank.bank_index(addr.bank_group, addr.bank)];
+                if bank.open_row != Some(addr.row) {
+                    return None;
+                }
+                let mut earliest = rank
+                    .earliest_write(t, addr.bank_group, addr.bank)
+                    .max(self.bus_free_from(t, addr.rank, t.cwl));
+                if let Some(at) = self.last_read_cmd {
+                    earliest = earliest.max(at + t.read_to_write());
+                }
+                Some(earliest)
+            }
+            DramCommand::Refresh => Some(rank.earliest_refresh()),
         }
     }
 
     /// Whether `cmd` may issue to `addr` at `cycle`.
     pub fn can_issue(&self, t: &DramTiming, cmd: DramCommand, addr: &DramAddr, cycle: u64) -> bool {
-        let rank = &self.ranks[addr.rank];
-        match cmd {
-            DramCommand::Activate => rank.earliest_activate(t, addr.bank_group, addr.bank) <= cycle,
-            DramCommand::Precharge => rank.earliest_precharge(addr.bank_group, addr.bank) <= cycle,
-            DramCommand::PrechargeAll => {
-                rank.refresh_busy_until <= cycle
-                    && (0..self.bank_groups).all(|bg| {
-                        (0..self.banks_per_group).all(|b| rank.earliest_precharge(bg, b) <= cycle)
-                    })
-            }
-            DramCommand::Read | DramCommand::ReadAp => {
-                let bank = &rank.banks[rank.bank_index(addr.bank_group, addr.bank)];
-                bank.open_row == Some(addr.row)
-                    && rank.earliest_read(t, addr.bank_group, addr.bank) <= cycle
-                    && self.bus_ready(t, addr.rank, cycle + t.cl)
-            }
-            DramCommand::Write | DramCommand::WriteAp => {
-                let rtw_ok = match self.last_read_cmd {
-                    Some(at) => at + t.read_to_write() <= cycle,
-                    None => true,
-                };
-                let bank = &rank.banks[rank.bank_index(addr.bank_group, addr.bank)];
-                bank.open_row == Some(addr.row)
-                    && rtw_ok
-                    && rank.earliest_write(t, addr.bank_group, addr.bank) <= cycle
-                    && self.bus_ready(t, addr.rank, cycle + t.cwl)
-            }
-            DramCommand::Refresh => rank.earliest_refresh() <= cycle,
-        }
+        self.earliest_issue(t, cmd, addr)
+            .is_some_and(|earliest| earliest <= cycle)
     }
 
     /// Apply the state changes of issuing `cmd` to `addr` at `cycle`.
@@ -213,6 +238,21 @@ mod tests {
         ch.issue(&t, DramCommand::Read, &a, c0);
         assert!(!ch.can_issue(&t, DramCommand::Write, &b, c0 + t.read_to_write() - 1));
         assert!(ch.can_issue(&t, DramCommand::Write, &b, c0 + t.read_to_write()));
+    }
+
+    #[test]
+    fn earliest_issue_agrees_with_can_issue() {
+        let (mut ch, t) = setup();
+        let a = addr(0, 0, 0, 5, 0);
+        ch.issue(&t, DramCommand::Activate, &a, 0);
+        let e = ch
+            .earliest_issue(&t, DramCommand::Read, &a)
+            .expect("row is open");
+        assert!(!ch.can_issue(&t, DramCommand::Read, &a, e - 1));
+        assert!(ch.can_issue(&t, DramCommand::Read, &a, e));
+        // Mismatched row: structurally impossible.
+        let wrong = addr(0, 0, 0, 6, 0);
+        assert_eq!(ch.earliest_issue(&t, DramCommand::Read, &wrong), None);
     }
 
     #[test]

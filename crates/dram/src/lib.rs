@@ -57,7 +57,7 @@ pub use command::DramCommand;
 pub use config::{DramConfig, RowPolicy, SchedulerKind};
 pub use controller::MemoryController;
 pub use energy::{EnergyModel, EnergyReport};
-pub use request::{Request, RequestKind};
+pub use request::{Completion, Request, RequestKind};
 pub use stats::{ChannelStats, MemoryStats};
 pub use system::MemorySystem;
 pub use timing::DramTiming;

@@ -79,7 +79,9 @@ impl MemorySystem {
         Ok(self.controllers[dram.channel].enqueue(request, dram))
     }
 
-    /// Enqueue a request, ticking the system until queue space is available.
+    /// Enqueue a request, advancing the system until queue space is
+    /// available (jumping idle spans rather than ticking one cycle per
+    /// retry).
     ///
     /// Models an infinitely patient producer; useful for throughput replay
     /// where request issue should back-pressure rather than drop.
@@ -87,14 +89,43 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if the request address is outside the configured capacity
-    /// (use [`MemorySystem::push`] for fallible submission).
+    /// (use [`MemorySystem::push`] or [`MemorySystem::push_blocking`] for
+    /// fallible submission).
     pub fn push_when_ready(&mut self, request: Request) {
+        self.push_blocking(request)
+            .unwrap_or_else(|e| panic!("push_when_ready: {e}"));
+    }
+
+    /// Fallible version of [`MemorySystem::push_when_ready`]: block (in
+    /// simulated time) until the target channel accepts the request,
+    /// jumping straight to the channel's next scheduling event on each
+    /// retry instead of ticking cycle by cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] for addresses beyond the
+    /// configured capacity.
+    pub fn push_blocking(&mut self, request: Request) -> Result<(), DramError> {
+        let dram = self
+            .config
+            .mapping
+            .decode(request.addr, &self.config.geometry)?;
         loop {
-            match self.push(request) {
-                Ok(true) => return,
-                Ok(false) => self.tick(),
-                Err(e) => panic!("push_when_ready: {e}"),
+            if self.controllers[dram.channel].enqueue(request, dram) {
+                return Ok(());
             }
+            // Queue full: a slot can only free when the target channel
+            // issues a column command. Run that channel just past its next
+            // action, then bring every other channel up to the same cycle
+            // (channels share no timing state, so catching up out of
+            // lockstep is bit-equivalent).
+            let target = self.controllers[dram.channel]
+                .advance_past_next_action()
+                .max(self.cycle + 1);
+            for c in &mut self.controllers {
+                c.advance_to(target);
+            }
+            self.cycle = target;
         }
     }
 
@@ -106,13 +137,60 @@ impl MemorySystem {
         self.cycle += 1;
     }
 
+    /// Advance every channel to exactly `target` (no-op when `target` is
+    /// not in the future), skipping idle spans. Bit-equivalent to calling
+    /// [`MemorySystem::tick`] `target - cycle` times: channels share no
+    /// timing state, so each can jump between its own events
+    /// independently while staying on the common clock.
+    pub fn advance_to(&mut self, target: u64) {
+        if target <= self.cycle {
+            return;
+        }
+        for c in &mut self.controllers {
+            c.advance_to(target);
+        }
+        self.cycle = target;
+    }
+
+    /// The earliest cycle at or after the current one at which any channel
+    /// could act (see [`MemoryController::next_event_cycle`]); `None` when
+    /// every channel is fully idle with refresh disabled.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.controllers
+            .iter()
+            .filter_map(|c| c.next_event_cycle())
+            .min()
+    }
+
     /// Whether any channel still has queued or in-flight work.
     pub fn is_busy(&self) -> bool {
         self.controllers.iter().any(|c| c.is_busy())
     }
 
-    /// Run until all queues drain and all in-flight bursts finish.
+    /// Run until all queues drain and all in-flight bursts finish, jumping
+    /// between event cycles.
+    ///
+    /// Bit-equivalent to [`MemorySystem::run_to_completion_ticked`]: each
+    /// channel runs to its own idle point independently (channels share no
+    /// timing state), then all are advanced to the common stop cycle so
+    /// per-channel refresh activity during the tail matches the lockstep
+    /// oracle.
     pub fn run_to_completion(&mut self) {
+        let mut stop = self.cycle;
+        for c in &mut self.controllers {
+            c.run_until_idle();
+            stop = stop.max(c.cycle());
+        }
+        for c in &mut self.controllers {
+            c.advance_to(stop);
+        }
+        self.cycle = stop;
+    }
+
+    /// Tick-stepping oracle equivalent of
+    /// [`MemorySystem::run_to_completion`]; used by the equivalence tests
+    /// and the `perf_dram_engine` harness.
+    pub fn run_to_completion_ticked(&mut self) {
         while self.is_busy() {
             self.tick();
         }
@@ -120,18 +198,31 @@ impl MemorySystem {
 
     /// Run for exactly `cycles` more cycles.
     pub fn run_for(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.tick();
-        }
+        self.advance_to(self.cycle + cycles);
+    }
+
+    /// Idle cycles the event-driven paths jumped over, summed across
+    /// channels (diagnostic; zero for a purely tick-driven run).
+    pub fn idle_cycles_skipped(&self) -> u64 {
+        self.controllers
+            .iter()
+            .map(|c| c.idle_cycles_skipped())
+            .sum()
     }
 
     /// Collect completions from every channel (in channel order).
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         let mut all = Vec::new();
-        for c in &mut self.controllers {
-            all.append(&mut c.drain_completions());
-        }
+        self.drain_completions_into(&mut all);
         all
+    }
+
+    /// Move completions from every channel (in channel order) into `out`,
+    /// reusing its allocation across drains.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        for c in &mut self.controllers {
+            c.drain_completions_into(out);
+        }
     }
 
     /// Aggregated statistics across channels.

@@ -200,6 +200,8 @@ impl NmpCore {
         let mut pending_write_ready: Option<f64> = None;
         let mut input_stall_cycles = 0u64;
         let mut output_wait_cycles = 0u64;
+        // Reused across drains so the hot loop never allocates per cycle.
+        let mut drained: Vec<tensordimm_dram::request::Completion> = Vec::new();
         // The output (C) queue drains into the controller's write queue: a
         // result occupies SRAM only until the controller accepts it (posted
         // write), so back-pressure comes from the controller's queue depth
@@ -210,6 +212,14 @@ impl NmpCore {
         // already handed over, which the controller depth dominates.
         let _ = output_capacity;
 
+        // Event-driven co-simulation: each iteration replays exactly one
+        // cycle's worth of the original tick-stepped pipeline, but when an
+        // iteration makes no progress the loop jumps straight to the next
+        // cycle anything can change — a DRAM event, a read retirement, or
+        // the ALU finishing — crediting the stall counters for the skipped
+        // span. All gating state (SRAM occupancy, operand counts, ALU
+        // readiness) is frozen between those instants, so the replay is
+        // bit-identical to ticking through every cycle.
         while read_pos < reads.len() || write_pos < writes.len() || memory.is_busy() {
             let now = memory.cycle();
 
@@ -223,6 +233,10 @@ impl NmpCore {
                 }
             }
 
+            let mut progressed = false;
+            let mut input_blocked = false;
+            let mut output_blocked = false;
+
             // Issue the next read while the input queues have space.
             // Outstanding = issued to the controller but not yet retired.
             if read_pos < reads.len() {
@@ -230,9 +244,11 @@ impl NmpCore {
                     let req = Request::read(reads[read_pos]).with_id(read_pos as u64);
                     if memory.push(req).expect("lowered addresses are in range") {
                         read_pos += 1;
+                        progressed = true;
                     }
                 } else {
                     input_stall_cycles += 1;
+                    input_blocked = true;
                 }
             }
 
@@ -255,23 +271,63 @@ impl NmpCore {
                         {
                             write_pos += 1;
                             pending_write_ready = None;
+                            progressed = true;
                         }
                     } else {
                         output_wait_cycles += 1;
+                        output_blocked = true;
                     }
                 } else {
                     output_wait_cycles += 1;
+                    output_blocked = true;
                 }
             }
 
             // Register newly issued read bursts' completion times.
-            for completion in memory.drain_completions() {
+            drained.clear();
+            memory.drain_completions_into(&mut drained);
+            for completion in &drained {
                 if completion.request.kind == RequestKind::Read {
                     read_done_times.push(Reverse(completion.finished_at));
                 }
             }
 
-            memory.tick();
+            if progressed {
+                memory.tick();
+                continue;
+            }
+
+            // No stream moved this cycle: wake at the next instant anything
+            // can — the memory's next event (command issuable, refresh,
+            // burst completion), the next read retirement, or ALU
+            // readiness.
+            let mut wake = memory.next_event_cycle().unwrap_or(u64::MAX);
+            if let Some(&Reverse(t)) = read_done_times.peek() {
+                wake = wake.min(t);
+            }
+            if let Some(ready) = pending_write_ready {
+                wake = wake.min(ready.ceil() as u64);
+            }
+            if wake == u64::MAX {
+                // Nothing to wait for (cannot happen while the loop
+                // condition holds, but never wedge): fall back to a tick.
+                memory.tick();
+                continue;
+            }
+            let target = wake.max(now + 1);
+            // The skipped cycles [now + 1, target) repeat this iteration's
+            // blocked state; credit the stall counters as the tick loop
+            // would have.
+            let span = target - now - 1;
+            if span > 0 {
+                if input_blocked {
+                    input_stall_cycles += span;
+                }
+                if output_blocked {
+                    output_wait_cycles += span;
+                }
+            }
+            memory.advance_to(target);
         }
 
         let stats = memory.stats();
@@ -403,6 +459,80 @@ mod tests {
         assert!(stats.elapsed_ns() > 0.0);
         assert!(stats.achieved_gbps() > 0.0);
         assert!(stats.utilization() <= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod event_engine_pins {
+    use super::*;
+    use tensordimm_isa::ReduceOp;
+
+    /// Exact counters captured from the tick-stepped pipeline before the
+    /// event-driven rewrite. The rewrite must replay the pipeline
+    /// bit-identically, so any drift here means the time-skipping logic
+    /// overshot an event.
+    #[test]
+    fn run_plan_matches_tick_stepped_baseline() {
+        let reduce = Instruction::Reduce {
+            input1: 0,
+            input2: 1 << 20,
+            output_base: 1 << 21,
+            count: 32 * 1024,
+            op: ReduceOp::Add,
+        };
+        let indices: Vec<u64> = (0..256).map(|i| (i * 37) % 1024).collect();
+        let gather = Instruction::Gather {
+            table_base: 0,
+            idx_base: 1 << 22,
+            output_base: 1 << 23,
+            count: indices.len() as u64,
+            vec_blocks: 32,
+        };
+
+        // (instr, refresh, [cycles, in_stall, out_wait, busy, refreshes,
+        //  activates, precharges, row_hits, row_misses, read_latency_sum])
+        type PinCase<'a> = (&'a Instruction, Option<&'a [u64]>, bool, [u64; 10]);
+        let cases: [PinCase; 3] = [
+            (
+                &reduce,
+                None,
+                true,
+                [17644, 15330, 16486, 17625, 2, 1271, 1219, 1914, 94, 278763],
+            ),
+            (
+                &reduce,
+                None,
+                false,
+                [17052, 14747, 15917, 17033, 0, 1272, 1208, 1917, 77, 269572],
+            ),
+            (
+                &gather,
+                Some(&indices),
+                true,
+                [2383, 1885, 1982, 2364, 0, 216, 152, 325, 65, 35039],
+            ),
+        ];
+        for (instr, idx, refresh, expect) in cases {
+            let mut cfg = NmpConfig::paper();
+            cfg.dram.refresh_enabled = refresh;
+            let mut core = NmpCore::new(cfg).unwrap();
+            let s = core
+                .run_instruction(instr, DimmContext::new(32, 0), idx)
+                .unwrap();
+            let got = [
+                s.cycles,
+                s.input_stall_cycles,
+                s.output_wait_cycles,
+                s.memory.totals.busy_cycles,
+                s.memory.totals.refreshes,
+                s.memory.totals.activates,
+                s.memory.totals.precharges,
+                s.memory.totals.row_hits,
+                s.memory.totals.row_misses,
+                s.memory.totals.read_latency_sum,
+            ];
+            assert_eq!(got, expect, "drift vs tick-stepped baseline: {instr:?}");
+        }
     }
 }
 

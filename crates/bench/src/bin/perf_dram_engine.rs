@@ -23,6 +23,8 @@ use tensordimm_bench::traffic::{op_trace, OpExperiment, OpKind};
 use tensordimm_dram::{
     Completion, DramConfig, MemoryStats, MemorySystem, Trace, TraceEntry, TraceRunner,
 };
+use tensordimm_models::Workload;
+use tensordimm_system::{BatchPricer, CyclePricer, CyclePricerConfig, DesignPoint, SystemModel};
 
 struct Scenario {
     name: &'static str,
@@ -181,6 +183,55 @@ fn main() {
             oracle.wall_s,
             fast.wall_s,
             speedup
+        );
+    }
+
+    // Serving-backend cost: one cold cycle-calibrated batch price (the
+    // gather replay) vs a memoized hit. Backend cost regressions — a
+    // slower replay or a broken latency table — show up here and are
+    // gated on the full-size run.
+    {
+        let model = SystemModel::paper_defaults();
+        let mut cfg = CyclePricerConfig::paper_defaults();
+        if quick {
+            cfg.max_replayed_lookups = 256;
+        }
+        let pricer = CyclePricer::with_config(&model, cfg);
+        let w = Workload::facebook();
+        let start = Instant::now();
+        let cold = pricer
+            .price(&w, 32, DesignPoint::Tdimm, 8)
+            .expect("valid batch");
+        let cold_wall_s = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let warm = pricer
+            .price(&w, 32, DesignPoint::Tdimm, 8)
+            .expect("valid batch");
+        let warm_wall_s = start.elapsed().as_secs_f64();
+        assert_eq!(
+            cold.service_us.to_bits(),
+            warm.service_us.to_bits(),
+            "memoized price must be bit-identical to the cold replay"
+        );
+        let memo_speedup = cold_wall_s / warm_wall_s.max(1e-9);
+        if !quick && memo_speedup < 50.0 {
+            gate_failures.push(format!(
+                "serving_cycle_price: memo hit only {memo_speedup:.1}x faster than cold replay"
+            ));
+        }
+        rows.push(format!(
+            concat!(
+                "    {{\"scenario\": \"serving_cycle_price\", ",
+                "\"workload\": \"Facebook\", \"batch\": 32, ",
+                "\"service_us\": {:.3}, \"cold_wall_s\": {:.6}, ",
+                "\"warm_wall_s\": {:.9}, \"memo_speedup\": {:.1}, ",
+                "\"identical\": true}}"
+            ),
+            cold.service_us, cold_wall_s, warm_wall_s, memo_speedup,
+        ));
+        eprintln!(
+            "{:<24} {:>7}      batch-32 price {:>8.1} us    cold {:>8.4}s  warm {:>9.6}s  {:>6.0}x",
+            "serving_cycle_price", "", cold.service_us, cold_wall_s, warm_wall_s, memo_speedup
         );
     }
 

@@ -32,7 +32,7 @@ pub mod ops;
 pub mod table;
 
 pub use footprint::{mlp_params, table_bytes, FootprintReport};
-pub use indices::{Distribution, IndexStream};
+pub use indices::{hot_row_share, zipf_lookup_rows, Distribution, IndexStream};
 pub use table::EmbeddingTable;
 
 use std::error::Error;

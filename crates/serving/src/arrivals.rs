@@ -23,7 +23,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use tensordimm_embedding::{Distribution, IndexStream};
+// The Zipf row sampler lives in `tensordimm_embedding` (rejection
+// inversion, O(1) memory for any table size) so the cycle-calibrated batch
+// pricer in `tensordimm_system` can draw the identical streams without a
+// dependency cycle; re-exported here for backwards compatibility.
+pub use tensordimm_embedding::{hot_row_share, zipf_lookup_rows};
 
 /// An open-loop request arrival process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,28 +113,6 @@ fn geometric(rng: &mut StdRng, mean: f64) -> u64 {
     let p = 1.0 / mean;
     let u = 1.0 - rng.gen::<f64>();
     1 + (u.ln() / (1.0 - p).ln()).floor() as u64
-}
-
-/// Zipf-skewed lookup rows: `count` draws over `[0, rows)` with exponent
-/// `s` (rank 0 = hottest). `s = 0` degenerates to uniform.
-pub fn zipf_lookup_rows(count: usize, rows: u64, s: f64, seed: u64) -> Vec<u64> {
-    let distribution = if s > 0.0 {
-        Distribution::Zipfian { s }
-    } else {
-        Distribution::Uniform
-    };
-    IndexStream::new(distribution, rows, seed).batch(count)
-}
-
-/// Fraction of `lookup rows` falling in the hottest `hot_fraction` of the
-/// table (e.g. `0.01` = the top 1% of rows). The locality headroom a
-/// rank-level cache could exploit.
-pub fn hot_row_share(rows_hit: &[u64], rows: u64, hot_fraction: f64) -> f64 {
-    if rows_hit.is_empty() {
-        return 0.0;
-    }
-    let cutoff = ((rows as f64) * hot_fraction).max(1.0) as u64;
-    rows_hit.iter().filter(|&&r| r < cutoff).count() as f64 / rows_hit.len() as f64
 }
 
 #[cfg(test)]

@@ -14,9 +14,11 @@
 //!   `max_wait_us`) of production serving stacks ([`BatchPolicy`],
 //!   [`DynamicBatcher`]),
 //! * **multi-GPU dispatch** — sealed batches go to the first free GPU and
-//!   are priced through [`tensordimm_system::price_batch`], so node-backed
-//!   designs pay shared-TensorNode contention that grows with the number
-//!   of batches in flight,
+//!   are priced through a pluggable [`tensordimm_system::BatchPricer`]
+//!   backend (analytic closed form, or cycle-calibrated replay on the
+//!   event-driven DRAM/NMP co-simulator), so node-backed designs pay
+//!   shared-TensorNode contention that grows with the number of batches
+//!   in flight,
 //! * **metrics** — p50/p95/p99 latency, throughput, time-weighted queue
 //!   depth and batch-occupancy histograms ([`SimReport`]),
 //! * **sweeps** — offered-load curves and sustainable-QPS-at-SLA search
@@ -43,5 +45,5 @@ pub use arrivals::{hot_row_share, zipf_lookup_rows, ArrivalProcess};
 pub use batcher::{BatchPolicy, DynamicBatcher, QueuedRequest};
 pub use metrics::{percentile, BatchStats, LatencySummary, QueueStats};
 pub use request::{CompletionRecord, RequestRecord, RequestTrace};
-pub use sim::{simulate, SimConfig, SimError, SimReport};
+pub use sim::{simulate, simulate_with_pricer, SimConfig, SimError, SimReport};
 pub use sweep::{offered_load_sweep, sustainable_qps, LoadPoint};

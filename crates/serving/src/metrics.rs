@@ -2,8 +2,20 @@
 //! batch-occupancy histograms.
 
 /// Nearest-rank percentile of an ascending-sorted sample, `pct` in
-/// `[0, 100]`. Empty samples yield `0.0`.
+/// `[0, 100]`. Empty samples yield `0.0`; `pct = 0` yields the minimum
+/// sample and `pct = 100` the maximum.
+///
+/// # Panics
+///
+/// Panics when `pct` is NaN or outside `[0, 100]`. (Before this guard, a
+/// NaN rank silently cast to 0 and clamped to the *minimum* sample, and
+/// `pct > 100` clamped to the maximum — both would quietly misreport a
+/// tail instead of flagging the caller's bug.)
 pub fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    assert!(
+        (0.0..=100.0).contains(&pct),
+        "percentile {pct} outside [0, 100]"
+    );
     if sorted.is_empty() {
         return 0.0;
     }
@@ -146,10 +158,44 @@ mod tests {
         let v: Vec<f64> = (1..=100).map(f64::from).collect();
         assert_eq!(percentile(&v, 50.0), 50.0);
         assert_eq!(percentile(&v, 99.0), 99.0);
-        assert_eq!(percentile(&v, 100.0), 100.0);
-        assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
-        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn percentile_domain_endpoints() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0, "p0 is the minimum sample");
+        assert_eq!(percentile(&v, 100.0), 100.0, "p100 is the maximum");
+        // Fractional percentiles stay in range near the endpoints too.
+        assert_eq!(percentile(&v, 0.5), 1.0);
+        assert_eq!(percentile(&v, 99.5), 100.0);
+    }
+
+    #[test]
+    fn percentile_single_element_sample() {
+        for pct in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.5], pct), 7.5, "pct {pct}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn percentile_rejects_above_100() {
+        percentile(&[1.0, 2.0], 101.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn percentile_rejects_negative() {
+        percentile(&[1.0, 2.0], -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn percentile_rejects_nan() {
+        // Pre-fix, a NaN rank cast to 0 and was silently clamped to the
+        // minimum sample — reporting a p-NaN "tail" equal to the best case.
+        percentile(&[1.0, 2.0], f64::NAN);
     }
 
     #[test]

@@ -1,16 +1,35 @@
 //! The discrete-event, virtual-time serving simulator.
 //!
 //! An open-loop arrival trace feeds a [`DynamicBatcher`]; sealed batches
-//! dispatch to the first free GPU and are priced through the analytic
-//! system model ([`tensordimm_system::price_batch`]): node-backed designs
+//! dispatch to the first free GPU and are priced through a pluggable
+//! [`BatchPricer`] backend ([`PricingBackend::Analytic`] — the closed-form
+//! model — or [`PricingBackend::CycleCalibrated`] — node lookups replayed
+//! on the event-driven DRAM/NMP co-simulator): node-backed designs
 //! (`PMEM`, `TDIMM`) pay shared-TensorNode contention scaled by how many
 //! GPUs are concurrently in flight, other designs pay their solo latency.
 //! The loop advances virtual time event by event — arrivals, batch-window
 //! flushes, GPU completions — and produces request-level tail-latency,
 //! throughput, queue-depth and batch-occupancy metrics.
 //!
-//! Everything is deterministic: same model, configuration and arrival
-//! trace ⇒ bit-identical [`SimReport`].
+//! # Event ordering
+//!
+//! Events are processed in ascending virtual time. Events at the *same*
+//! instant are ordered by kind, then by creation order:
+//!
+//! 1. **GPU completions** — finished batches release their GPU before any
+//!    same-instant work is admitted,
+//! 2. **arrivals** — in trace order, so a request arriving exactly when a
+//!    GPU frees can dispatch at that instant,
+//! 3. **batch-window flushes** — the timer observes every same-instant
+//!    arrival (a request arriving exactly at a window expiry joins the
+//!    flushed batch rather than starting a new one).
+//!
+//! This ordering is part of the simulator's contract: it never depends on
+//! heap internals, so [`simulate`] is bit-identical for identical inputs
+//! even with colliding timestamps (see the regression tests).
+//!
+//! Everything is deterministic: same model, configuration, pricing backend
+//! and arrival trace ⇒ bit-identical [`SimReport`].
 //!
 //! # Example
 //!
@@ -36,7 +55,7 @@ use std::fmt;
 
 use tensordimm_interconnect::InterconnectError;
 use tensordimm_models::Workload;
-use tensordimm_system::{price_batch, DesignPoint, SystemModel};
+use tensordimm_system::{BatchPricer, DesignPoint, PricingBackend, SystemModel};
 
 use crate::batcher::{BatchPolicy, DynamicBatcher, QueuedRequest};
 use crate::metrics::{BatchStats, LatencySummary, QueueDepthTracker, QueueStats};
@@ -96,6 +115,9 @@ pub struct SimConfig {
     pub gpus: usize,
     /// The dynamic-batching policy.
     pub policy: BatchPolicy,
+    /// Which batch-pricing backend services are costed with (ignored by
+    /// [`simulate_with_pricer`], which takes the pricer directly).
+    pub pricing: PricingBackend,
     /// Optional cutoff, µs: events after this virtual time are not
     /// processed, leaving requests queued / in flight for conservation
     /// accounting. `None` runs until every request completes.
@@ -103,12 +125,14 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// A configuration that runs to completion (no horizon).
+    /// A configuration that runs to completion (no horizon) with the
+    /// analytic pricing backend.
     pub fn new(design: DesignPoint, gpus: usize, policy: BatchPolicy) -> Self {
         SimConfig {
             design,
             gpus,
             policy,
+            pricing: PricingBackend::Analytic,
             horizon_us: None,
         }
     }
@@ -116,6 +140,12 @@ impl SimConfig {
     /// Stop the virtual clock at `horizon_us`.
     pub fn with_horizon(mut self, horizon_us: f64) -> Self {
         self.horizon_us = Some(horizon_us);
+        self
+    }
+
+    /// Select the batch-pricing backend.
+    pub fn with_pricing(mut self, pricing: PricingBackend) -> Self {
+        self.pricing = pricing;
         self
     }
 
@@ -191,6 +221,19 @@ enum EventKind {
     GpuDone(usize),
 }
 
+impl EventKind {
+    /// Same-instant ordering (see the module docs): completions release
+    /// their GPU first, arrivals are admitted next, and the batch-window
+    /// timer runs last so it observes every same-instant arrival.
+    fn tie_rank(&self) -> u8 {
+        match self {
+            EventKind::GpuDone(_) => 0,
+            EventKind::Arrival(_) => 1,
+            EventKind::Flush => 2,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Event {
     time_us: f64,
@@ -198,13 +241,16 @@ struct Event {
     kind: EventKind,
 }
 
-// Min-heap ordering on (time, seq): BinaryHeap is a max-heap, so compare
-// reversed. `seq` breaks timestamp ties deterministically (FIFO).
+// Min-heap ordering on (time, kind rank, seq): BinaryHeap is a max-heap,
+// so compare reversed. The kind rank makes timestamp collisions follow the
+// documented semantics instead of heap/push-order accidents; `seq` breaks
+// the remaining ties deterministically (FIFO within a kind).
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .time_us
             .total_cmp(&self.time_us)
+            .then_with(|| other.kind.tie_rank().cmp(&self.kind.tie_rank()))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -231,7 +277,7 @@ struct InFlight {
 }
 
 struct Engine<'a> {
-    model: &'a SystemModel,
+    pricer: &'a dyn BatchPricer,
     workload: &'a Workload,
     design: DesignPoint,
     gpus: usize,
@@ -243,7 +289,8 @@ struct Engine<'a> {
     in_flight: Vec<Option<InFlight>>,
     in_flight_requests: usize,
     batch_stats: BatchStats,
-    /// Memoized `price_batch` keyed on (batch size, active GPUs).
+    /// Memoized backend prices keyed on (batch size, active GPUs) — valid
+    /// because [`BatchPricer`] implementations are deterministic.
     price_cache: HashMap<(usize, usize), f64>,
 }
 
@@ -261,7 +308,9 @@ impl Engine<'_> {
         if let Some(&us) = self.price_cache.get(&(batch, active)) {
             return Ok(us);
         }
-        let cost = price_batch(self.model, self.workload, batch, self.design, active)?;
+        let cost = self
+            .pricer
+            .price(self.workload, batch, self.design, active)?;
         self.price_cache.insert((batch, active), cost.service_us);
         Ok(cost.service_us)
     }
@@ -299,7 +348,11 @@ impl Engine<'_> {
 
 /// Run the simulator: feed `arrivals_us` (sorted, µs) through the batcher
 /// and `cfg.gpus` GPUs of `cfg.design`, pricing each dispatched batch with
-/// the analytic system model.
+/// the backend `cfg.pricing` selects (constructed fresh over `model`; use
+/// [`simulate_with_pricer`] to share a warmed-up [`CyclePricer`] latency
+/// table across runs).
+///
+/// [`CyclePricer`]: tensordimm_system::CyclePricer
 ///
 /// # Errors
 ///
@@ -312,6 +365,23 @@ pub fn simulate(
     cfg: &SimConfig,
     arrivals_us: &[f64],
 ) -> Result<SimReport, SimError> {
+    let pricer = cfg.pricing.build(model);
+    simulate_with_pricer(workload, cfg, arrivals_us, pricer.as_ref())
+}
+
+/// [`simulate`] with an explicit pricing backend. `cfg.pricing` is ignored
+/// — the caller owns the pricer, which lets a sweep reuse one cycle
+/// pricer's memoized latency table across many runs.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_with_pricer(
+    workload: &Workload,
+    cfg: &SimConfig,
+    arrivals_us: &[f64],
+    pricer: &dyn BatchPricer,
+) -> Result<SimReport, SimError> {
     cfg.validate()?;
     for (i, &t) in arrivals_us.iter().enumerate() {
         let sorted = i == 0 || arrivals_us[i - 1] <= t;
@@ -322,7 +392,7 @@ pub fn simulate(
 
     let n = arrivals_us.len();
     let mut engine = Engine {
-        model,
+        pricer,
         workload,
         design: cfg.design,
         gpus: cfg.gpus,
@@ -553,6 +623,153 @@ mod tests {
             "TDIMM p99 {} vs PMEM p99 {}",
             t.latency.p99_us,
             p.latency.p99_us
+        );
+    }
+
+    /// Fixed-cost pricer for constructing exact timestamp collisions.
+    struct ConstPricer(f64);
+
+    impl tensordimm_system::BatchPricer for ConstPricer {
+        fn price(
+            &self,
+            _workload: &Workload,
+            _batch: usize,
+            _design: DesignPoint,
+            active_gpus: usize,
+        ) -> Result<tensordimm_system::BatchCost, tensordimm_system::serving::ServingError>
+        {
+            if active_gpus == 0 {
+                return Err(tensordimm_system::serving::ServingError::InvalidLink {
+                    parameter: "active_gpus",
+                });
+            }
+            Ok(tensordimm_system::BatchCost {
+                service_us: self.0,
+                port_bound: false,
+            })
+        }
+
+        fn backend(&self) -> tensordimm_system::PricingBackend {
+            tensordimm_system::PricingBackend::Analytic
+        }
+    }
+
+    /// Colliding timestamps: an arrival lands exactly on a batch-window
+    /// expiry, and a GPU completion lands exactly on a later arrival. The
+    /// documented tie order (GpuDone, then Arrival, then Flush) must hold
+    /// and the whole run must be bit-identical across replays —
+    /// independent of heap internals.
+    #[test]
+    fn colliding_events_are_ordered_deterministically() {
+        let w = Workload::facebook();
+        // One GPU, 100 µs service, 100 µs batch window, batches of <= 4.
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 1, BatchPolicy::new(4, 100.0));
+        let arrivals = [0.0, 100.0, 200.0];
+        let pricer = ConstPricer(100.0);
+        let r = simulate_with_pricer(&w, &cfg, &arrivals, &pricer).expect("valid");
+
+        let c0 = r.records[0].completion.expect("drained");
+        let c1 = r.records[1].completion.expect("drained");
+        let c2 = r.records[2].completion.expect("drained");
+        // t=100: request 1 arrives (rank 1) exactly when request 0's
+        // window expires (rank 2): the arrival is admitted first, so it
+        // joins the flushed batch — {0, 1} dispatches together at 100.
+        assert_eq!(
+            (c0.dispatch_us, c0.finish_us, c0.batch_size),
+            (100.0, 200.0, 2)
+        );
+        assert_eq!(
+            (c1.dispatch_us, c1.finish_us, c1.batch_size),
+            (100.0, 200.0, 2)
+        );
+        // t=200: batch {0, 1} completes (rank 0) exactly as request 2
+        // arrives (rank 1); request 2 then waits out its own window and
+        // dispatches alone at 300.
+        assert_eq!(
+            (c2.dispatch_us, c2.finish_us, c2.batch_size),
+            (300.0, 400.0, 1)
+        );
+
+        // Bit-identical replay, collisions and all.
+        let again = simulate_with_pricer(&w, &cfg, &arrivals, &pricer).expect("valid");
+        assert_eq!(r, again);
+    }
+
+    /// Concurrency-sensitive pricer exposing the GpuDone-before-Arrival
+    /// tie rule: service time scales with how many GPUs are active at
+    /// dispatch.
+    struct ActiveScaledPricer(f64);
+
+    impl tensordimm_system::BatchPricer for ActiveScaledPricer {
+        fn price(
+            &self,
+            _workload: &Workload,
+            _batch: usize,
+            _design: DesignPoint,
+            active_gpus: usize,
+        ) -> Result<tensordimm_system::BatchCost, tensordimm_system::serving::ServingError>
+        {
+            Ok(tensordimm_system::BatchCost {
+                service_us: self.0 * active_gpus as f64,
+                port_bound: false,
+            })
+        }
+
+        fn backend(&self) -> tensordimm_system::PricingBackend {
+            tensordimm_system::PricingBackend::Analytic
+        }
+    }
+
+    /// A batch completing at the exact instant a request arrives must
+    /// release its GPU *before* the arrival dispatches: the new batch is
+    /// priced at solo concurrency, not as if it overlapped the batch that
+    /// just finished.
+    #[test]
+    fn gpu_completion_frees_capacity_before_same_instant_dispatch() {
+        let w = Workload::youtube();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 2, BatchPolicy::new(1, 0.0));
+        // Request 0 runs over [0, 100) at active=1. Request 1 arrives at
+        // exactly 100: the completion is processed first, so request 1
+        // also dispatches at active=1 and takes 100 µs — were arrivals
+        // processed first it would be priced at active=2 (200 µs).
+        let arrivals = [0.0, 100.0];
+        let pricer = ActiveScaledPricer(100.0);
+        let r = simulate_with_pricer(&w, &cfg, &arrivals, &pricer).expect("valid");
+        let c1 = r.records[1].completion.expect("drained");
+        assert_eq!(c1.dispatch_us, 100.0);
+        assert_eq!(
+            c1.finish_us, 200.0,
+            "same-instant dispatch must be priced after the GPU freed"
+        );
+    }
+
+    #[test]
+    fn cycle_backend_is_deterministic_and_selectable() {
+        let m = model();
+        let w = Workload::youtube();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 2, BatchPolicy::new(8, 200.0))
+            .with_pricing(tensordimm_system::PricingBackend::CycleCalibrated);
+        assert_eq!(
+            cfg.pricing,
+            tensordimm_system::PricingBackend::CycleCalibrated
+        );
+        let arrivals = poisson(60_000.0, 60, 17);
+        let a = simulate(&m, &w, &cfg, &arrivals).expect("valid");
+        let b = simulate(&m, &w, &cfg, &arrivals).expect("valid");
+        assert_eq!(a, b, "cycle-calibrated runs must replay bit-identically");
+        assert_eq!(a.completed, 60);
+        // And it genuinely prices differently from the analytic backend
+        // (the cycle replay measures, it does not echo the constants).
+        let analytic = simulate(
+            &m,
+            &w,
+            &SimConfig::new(DesignPoint::Tdimm, 2, BatchPolicy::new(8, 200.0)),
+            &arrivals,
+        )
+        .expect("valid");
+        assert_ne!(
+            a.latency.p99_us, analytic.latency.p99_us,
+            "backends should not be bit-equal on node designs"
         );
     }
 

@@ -10,7 +10,7 @@ use tensordimm_models::Workload;
 use tensordimm_system::SystemModel;
 
 use crate::arrivals::ArrivalProcess;
-use crate::sim::{simulate, SimConfig, SimError, SimReport};
+use crate::sim::{simulate_with_pricer, SimConfig, SimError, SimReport};
 
 /// One point of an offered-load sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +25,10 @@ pub struct LoadPoint {
 /// `requests` per point, deterministic per `seed` (each rate reuses the
 /// same seed so curves differ only by load).
 ///
+/// One pricing backend instance (per `cfg.pricing`) is shared across all
+/// rates, so a cycle-calibrated sweep replays each distinct batch shape
+/// once and serves every later load point from the memoized latency table.
+///
 /// # Errors
 ///
 /// Propagates [`SimError`] from any point.
@@ -36,13 +40,14 @@ pub fn offered_load_sweep(
     requests: usize,
     seed: u64,
 ) -> Result<Vec<LoadPoint>, SimError> {
+    let pricer = cfg.pricing.build(model);
     rates_qps
         .iter()
         .map(|&rate_qps| {
             let arrivals = ArrivalProcess::Poisson { rate_qps }.sample_arrivals_us(requests, seed);
             Ok(LoadPoint {
                 offered_qps: rate_qps,
-                report: simulate(model, workload, cfg, &arrivals)?,
+                report: simulate_with_pricer(workload, cfg, &arrivals, pricer.as_ref())?,
             })
         })
         .collect()

@@ -12,6 +12,7 @@
 use tensordimm_interconnect::{Flow, InterconnectError, Switch};
 use tensordimm_models::Workload;
 
+use crate::breakdown::PhaseBreakdown;
 use crate::design::DesignPoint;
 use crate::model::SystemModel;
 
@@ -65,6 +66,26 @@ pub fn price_batch(
     design: DesignPoint,
     active_gpus: usize,
 ) -> Result<BatchCost, InterconnectError> {
+    let solo = model.evaluate(workload, batch, design);
+    contended_cost(model, workload, batch, design, active_gpus, &solo)
+}
+
+/// The shared-node contention math behind [`price_batch`], parameterized
+/// over the solo per-phase breakdown so pricing backends (see
+/// [`crate::pricer`]) can substitute a cycle-measured lookup phase while
+/// reusing the identical crossbar/shared-bandwidth model.
+///
+/// # Errors
+///
+/// Returns [`InterconnectError::InvalidLink`] when `active_gpus` is zero.
+pub(crate) fn contended_cost(
+    model: &SystemModel,
+    workload: &Workload,
+    batch: usize,
+    design: DesignPoint,
+    active_gpus: usize,
+    solo: &PhaseBreakdown,
+) -> Result<BatchCost, InterconnectError> {
     if active_gpus == 0 {
         return Err(InterconnectError::InvalidLink {
             parameter: "active_gpus",
@@ -72,7 +93,7 @@ pub fn price_batch(
     }
     if !matches!(design, DesignPoint::Pmem | DesignPoint::Tdimm) {
         return Ok(BatchCost {
-            service_us: model.evaluate(workload, batch, design).total_us(),
+            service_us: solo.total_us(),
             port_bound: false,
         });
     }
@@ -95,7 +116,6 @@ pub fn price_batch(
         .into_iter()
         .fold(0.0f64, f64::max);
 
-    let solo = model.evaluate(workload, batch, design);
     let other_phases_us = solo.lookup_us + solo.dnn_us + solo.other_us;
     // The node-side lookup phase is also shared: N GPUs' gathers divide the
     // node's internal bandwidth.

@@ -16,7 +16,7 @@ use tensordimm::models::Workload;
 use tensordimm::serving::{
     offered_load_sweep, sustainable_qps, ArrivalProcess, BatchPolicy, RequestTrace, SimConfig,
 };
-use tensordimm::system::{DesignPoint, SystemModel};
+use tensordimm::system::{DesignPoint, PricingBackend, SystemModel};
 
 const GPUS: usize = 8;
 const REQUESTS: usize = 2000;
@@ -143,6 +143,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|p| p.report.latency.p99_us)
             .unwrap_or(0.0),
         bursty_report.queue.max_depth,
+    );
+
+    // Backend cross-check: re-run one load point with batches priced by
+    // the cycle-calibrated backend (each batch's Zipf gather trace
+    // replayed on the event-driven DRAM/NMP co-simulator) instead of the
+    // closed-form constants. The two must agree closely — the analytic
+    // utilization factors were calibrated on the same simulator — and the
+    // TDIMM-over-PMEM tail ordering must survive the swap.
+    let check_rate = 100_000.0;
+    let check_arrivals = ArrivalProcess::Poisson {
+        rate_qps: check_rate,
+    }
+    .sample_arrivals_us(REQUESTS, SEED);
+    println!();
+    println!("Backend cross-check at {check_rate:.0} qps (p99 µs, analytic vs cycle-calibrated):");
+    let mut cycle_p99 = Vec::new();
+    for &design in &[DesignPoint::Tdimm, DesignPoint::Pmem] {
+        let analytic_cfg = SimConfig::new(design, GPUS, policy);
+        let cycle_cfg = analytic_cfg.with_pricing(PricingBackend::CycleCalibrated);
+        let a = tensordimm::serving::simulate(&model, &workload, &analytic_cfg, &check_arrivals)?;
+        let c = tensordimm::serving::simulate(&model, &workload, &cycle_cfg, &check_arrivals)?;
+        println!(
+            "  {:<6} {:>8.0} vs {:>8.0} ({:+.1}%)",
+            design.label(),
+            a.latency.p99_us,
+            c.latency.p99_us,
+            100.0 * (c.latency.p99_us - a.latency.p99_us) / a.latency.p99_us
+        );
+        cycle_p99.push(c.latency.p99_us);
+    }
+    assert!(
+        cycle_p99[0] < cycle_p99[1],
+        "cycle backend must preserve the TDIMM tail win: TDIMM p99 {:.0} vs PMEM p99 {:.0}",
+        cycle_p99[0],
+        cycle_p99[1]
     );
 
     assert!(

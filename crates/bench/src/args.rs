@@ -1,0 +1,44 @@
+//! Tiny shared CLI parsing for the figure/sweep binaries.
+
+/// Parse `--workers N` (or `--workers=N`) from the process arguments,
+/// resolving through [`tensordimm_exec::worker_count`]: explicit flag
+/// first, then the `TENSORDIMM_WORKERS` environment variable, then the
+/// machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag is present but malformed.
+pub fn workers_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut requested = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--workers=") {
+            requested = Some(parse_workers(v));
+        } else if args[i] == "--workers" {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--workers requires a value"));
+            requested = Some(parse_workers(v));
+            i += 1;
+        }
+        i += 1;
+    }
+    tensordimm_exec::worker_count(requested)
+}
+
+fn parse_workers(v: &str) -> usize {
+    v.parse::<usize>()
+        .unwrap_or_else(|_| panic!("--workers expects a positive integer, got {v:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_integers_only() {
+        assert_eq!(parse_workers("4"), 4);
+        assert!(std::panic::catch_unwind(|| parse_workers("four")).is_err());
+    }
+}

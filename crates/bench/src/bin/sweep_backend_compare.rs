@@ -16,13 +16,20 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p tensordimm_bench --bin sweep_backend_compare [-- --quick]
+//! cargo run --release -p tensordimm_bench --bin sweep_backend_compare \
+//!     [-- --quick] [-- --workers N]
 //! ```
 //!
 //! `--quick` shrinks the batch grid and replay depth so CI can gate on the
-//! band in seconds. The full table is reproduced in `EXPERIMENTS.md`
-//! ("Analytic vs cycle-calibrated serving").
+//! band in seconds. `--workers N` warms the cycle pricer's latency table by
+//! replaying the grid's distinct batch shapes concurrently (the table and
+//! every printed number are bit-identical at any worker count — the
+//! remaining grid walk is served from memo hits). The full table is
+//! reproduced in `EXPERIMENTS.md` ("Analytic vs cycle-calibrated serving").
 
+use std::time::Instant;
+
+use tensordimm_bench::args::workers_from_args;
 use tensordimm_models::Workload;
 use tensordimm_system::{
     AnalyticPricer, BatchPricer, CyclePricer, CyclePricerConfig, DesignPoint, SystemModel,
@@ -33,6 +40,7 @@ const DIVERGENCE_BAND: f64 = 0.15;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let workers = workers_from_args();
     let model = SystemModel::paper_defaults();
     let analytic = AnalyticPricer::new(&model);
     let cycle = if quick {
@@ -45,6 +53,23 @@ fn main() {
 
     let batches: &[usize] = if quick { &[8, 64] } else { &[8, 64, 128] };
     let designs = [DesignPoint::Pmem, DesignPoint::Tdimm];
+
+    // Warm the latency table by replaying every distinct (workload, batch)
+    // shape of the grid concurrently; the sequential comparison loop below
+    // is then pure memo hits, so its numbers cannot depend on the worker
+    // count (the memo replay is a deterministic function of the key).
+    let shapes: Vec<(Workload, usize)> = Workload::all()
+        .into_iter()
+        .flat_map(|w| batches.iter().map(move |&b| (w.clone(), b)))
+        .collect();
+    let warm_start = Instant::now();
+    let fresh = cycle.warm(&shapes, workers);
+    let warm_s = warm_start.elapsed().as_secs_f64();
+    eprintln!(
+        "warmed {fresh} distinct batch shapes on {workers} workers in {warm_s:.2}s \
+         ({} replays total)",
+        cycle.replay_count()
+    );
 
     println!(
         "Analytic vs cycle-calibrated batch pricing (service µs per batch; {} replay cap {})",

@@ -4,13 +4,19 @@
 //! The serving analogue of Fig. 14: instead of per-inference latency at a
 //! fixed batch, each design absorbs open-loop Poisson traffic through a
 //! dynamic batcher (max batch 32, 300 µs window) on 8 GPUs sharing one
-//! TensorNode, and the sweep reports the highest offered load whose p99
-//! latency stays inside the SLA.
+//! TensorNode, and the sweep reports the highest offered load of the
+//! passing prefix — the last rate before the p99 SLA is first violated.
 //!
-//! Run with: `cargo run --release -p tensordimm_bench --bin sweep_qps_sla`
+//! The (workload × design) grid points are mutually independent, so they
+//! fan across a deterministic worker pool; results merge in input order,
+//! so the table is identical at any worker count.
+//!
+//! Run with:
+//! `cargo run --release -p tensordimm_bench --bin sweep_qps_sla [-- --workers N]`
 
+use tensordimm_bench::args::workers_from_args;
 use tensordimm_models::Workload;
-use tensordimm_serving::{offered_load_sweep, sustainable_qps, BatchPolicy, SimConfig};
+use tensordimm_serving::{offered_load_sweep, sustainable_qps, BatchPolicy, SimConfig, SimError};
 use tensordimm_system::{DesignPoint, SystemModel};
 
 const GPUS: usize = 8;
@@ -19,13 +25,14 @@ const SEED: u64 = 0x51a;
 const SLA_P99_US: f64 = 800.0;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers = workers_from_args();
     let model = SystemModel::paper_defaults();
     let policy = BatchPolicy::new(32, 300.0);
     let rates: Vec<f64> = (1..=20).map(|i| 100_000.0 * i as f64).collect();
     let designs = [DesignPoint::Pmem, DesignPoint::Tdimm, DesignPoint::GpuOnly];
 
     println!(
-        "Sustainable QPS at p99 <= {SLA_P99_US:.0} us ({GPUS} GPUs, batch <= {}, {} us window)",
+        "Sustainable QPS at p99 <= {SLA_P99_US:.0} us ({GPUS} GPUs, batch <= {}, {} us window, {workers} workers)",
         policy.max_batch, policy.max_wait_us
     );
     println!();
@@ -33,14 +40,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>10} | {:>12} {:>12} {:>12} | {:>11}",
         "workload", "PMEM", "TDIMM", "GPU-only", "TDIMM/PMEM"
     );
+
+    // Every (workload, design) grid point is independent: fan the whole
+    // grid across the pool and merge in input order, so the printed table
+    // is identical to the sequential run.
+    let jobs: Vec<(Workload, DesignPoint)> = Workload::all()
+        .into_iter()
+        .flat_map(|w| designs.iter().map(move |&d| (w.clone(), d)))
+        .collect();
+    let grid: Vec<Result<f64, SimError>> =
+        tensordimm_exec::par_map(&jobs, workers, |_, (w, design)| {
+            let cfg = SimConfig::new(*design, GPUS, policy);
+            let points = offered_load_sweep(&model, w, &cfg, &rates, REQUESTS, SEED)?;
+            Ok(sustainable_qps(&points, SLA_P99_US).unwrap_or(0.0))
+        });
+
+    // par_map merged in input order, so each designs.len()-sized chunk of
+    // the grid is one jobs row — consume it zipped with the jobs so the
+    // printed workload is structurally the one that produced the numbers.
     let mut ratios = Vec::new();
-    for w in Workload::all() {
-        let mut qps = Vec::new();
-        for &design in &designs {
-            let cfg = SimConfig::new(design, GPUS, policy);
-            let points = offered_load_sweep(&model, &w, &cfg, &rates, REQUESTS, SEED)?;
-            qps.push(sustainable_qps(&points, SLA_P99_US).unwrap_or(0.0));
-        }
+    for (row, (w, _)) in grid
+        .chunks(designs.len())
+        .zip(jobs.iter().step_by(designs.len()))
+    {
+        let qps = row.iter().cloned().collect::<Result<Vec<f64>, _>>()?;
         let ratio = qps[1] / qps[0].max(1.0);
         ratios.push(ratio);
         println!(

@@ -13,5 +13,6 @@
 //! [`traffic`]) live in `tensordimm_serving::arrivals`, which this crate's
 //! `sweep_qps_sla` binary drives.
 
+pub mod args;
 pub mod table;
 pub mod traffic;

@@ -22,7 +22,10 @@
 //! * **metrics** — p50/p95/p99 latency, throughput, time-weighted queue
 //!   depth and batch-occupancy histograms ([`SimReport`]),
 //! * **sweeps** — offered-load curves and sustainable-QPS-at-SLA search
-//!   ([`offered_load_sweep`], [`sustainable_qps`]).
+//!   ([`offered_load_sweep`], [`sustainable_qps`]), with the independent
+//!   load points optionally fanned across a deterministic worker pool
+//!   ([`offered_load_sweep_par`] — bit-identical to the sequential path
+//!   at any worker count).
 //!
 //! The headline experiment (`examples/serving_sim.rs`,
 //! `sweep_qps_sla` in `tensordimm_bench`): at request granularity, TDIMM's
@@ -46,4 +49,6 @@ pub use batcher::{BatchPolicy, DynamicBatcher, QueuedRequest};
 pub use metrics::{percentile, BatchStats, LatencySummary, QueueStats};
 pub use request::{CompletionRecord, RequestRecord, RequestTrace};
 pub use sim::{simulate, simulate_with_pricer, SimConfig, SimError, SimReport};
-pub use sweep::{offered_load_sweep, sustainable_qps, LoadPoint};
+pub use sweep::{
+    offered_load_sweep, offered_load_sweep_par, sustainable_qps, sweep_arrivals_us, LoadPoint,
+};

@@ -42,7 +42,9 @@ pub mod sweep;
 pub use breakdown::PhaseBreakdown;
 pub use design::DesignPoint;
 pub use model::{SystemModel, SystemModelConfig};
-pub use pricer::{AnalyticPricer, BatchPricer, CyclePricer, CyclePricerConfig, PricingBackend};
+pub use pricer::{
+    AnalyticPricer, BatchPricer, CycleKey, CyclePricer, CyclePricerConfig, PricingBackend,
+};
 pub use serving::{node_sharing, price_batch, sharing_sweep, BatchCost, ServingReport};
 pub use sweep::{geometric_mean, normalized_performance, speedup_matrix, SweepPoint};
 

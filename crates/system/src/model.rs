@@ -1,7 +1,7 @@
 //! The latency model for the five design points.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use tensordimm_cache::{GatherModel, GatherWorkload};
 use tensordimm_interconnect::{Device, Topology};
@@ -85,11 +85,22 @@ impl SystemModelConfig {
 /// Evaluates inference latency for (workload, batch, design point).
 ///
 /// CPU gather bandwidths are produced by the cache-hierarchy simulator and
-/// memoized per (table footprint, embedding size).
-#[derive(Debug, Clone)]
+/// memoized per (table footprint, embedding size). The memo sits behind a
+/// `Mutex` so one model can be shared (`&SystemModel` is `Sync`) by the
+/// parallel sweep workers and the concurrent cycle-pricer warm-up.
+#[derive(Debug)]
 pub struct SystemModel {
     config: SystemModelConfig,
-    cpu_bw_cache: RefCell<HashMap<(u64, u64), f64>>,
+    cpu_bw_cache: Mutex<HashMap<(u64, u64), f64>>,
+}
+
+impl Clone for SystemModel {
+    fn clone(&self) -> Self {
+        SystemModel {
+            config: self.config.clone(),
+            cpu_bw_cache: Mutex::new(self.cpu_bw_cache.lock().expect("cache lock").clone()),
+        }
+    }
 }
 
 impl SystemModel {
@@ -97,7 +108,7 @@ impl SystemModel {
     pub fn new(config: SystemModelConfig) -> Self {
         SystemModel {
             config,
-            cpu_bw_cache: RefCell::new(HashMap::new()),
+            cpu_bw_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -121,9 +132,12 @@ impl SystemModel {
     /// cache-hierarchy simulation).
     pub fn cpu_gather_gbps(&self, workload: &Workload) -> f64 {
         let key = (workload.table_footprint_bytes(), workload.embedding_bytes());
-        if let Some(&bw) = self.cpu_bw_cache.borrow().get(&key) {
+        if let Some(&bw) = self.cpu_bw_cache.lock().expect("cache lock").get(&key) {
             return bw;
         }
+        // Simulate outside the lock: concurrent cold misses on the same
+        // key may both simulate, but the simulation is a deterministic
+        // pure function of the key, so both insert the identical value.
         let bw = self
             .config
             .cpu_gather
@@ -134,7 +148,10 @@ impl SystemModel {
                 zipf_s: self.config.zipf_s,
                 seed: 0x7d1,
             });
-        self.cpu_bw_cache.borrow_mut().insert(key, bw);
+        self.cpu_bw_cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, bw);
         bw
     }
 

@@ -26,8 +26,9 @@
 //! constants (see `EXPERIMENTS.md`, "Analytic vs cycle-calibrated
 //! serving", and the `sweep_backend_compare` binary).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use tensordimm_dram::DramConfig;
 use tensordimm_embedding::zipf_lookup_rows;
@@ -73,8 +74,11 @@ impl PricingBackend {
 ///
 /// Implementations must be deterministic: the same `(workload, batch,
 /// design, active_gpus)` must always return the bit-identical cost, so a
-/// serving run replays exactly per seed regardless of backend.
-pub trait BatchPricer {
+/// serving run replays exactly per seed regardless of backend — *including
+/// across threads*. `Send + Sync` is a supertrait so one pricer instance
+/// (and its memoized state) can be shared by every worker of a parallel
+/// sweep.
+pub trait BatchPricer: Send + Sync {
     /// Cost of one `batch`-request batch of `workload` on `design`, with
     /// `active_gpus` GPUs (including this one) concurrently in flight.
     ///
@@ -173,7 +177,7 @@ impl Default for CyclePricerConfig {
 /// remote reads execute the identical gather access pattern on the same
 /// DIMMs (only the consumer differs — see EXPERIMENTS.md), so PMEM and
 /// TDIMM share one measurement instead of paying two identical replays.
-type CycleKey = (u64, u64, u64, usize, u64);
+pub type CycleKey = (u64, u64, u64, usize, u64);
 
 fn workload_fingerprint(w: &Workload) -> (u64, u64, u64) {
     (
@@ -183,6 +187,56 @@ fn workload_fingerprint(w: &Workload) -> (u64, u64, u64) {
     )
 }
 
+/// How many independent `Mutex`-guarded slices the latency table is split
+/// into: concurrent warm-up replays for *different* keys never contend on
+/// one lock (the shard mutex is only held for the map probe, never across
+/// a replay).
+const TABLE_SHARDS: usize = 8;
+
+/// The invalidation unit: replay knobs plus the latency table they
+/// produced, swapped/cleared together under one `RwLock` so a
+/// reconfiguration can never race a concurrent replay into the fresh
+/// table.
+struct CycleState {
+    config: CyclePricerConfig,
+    /// Memoized measured aggregate node gather bandwidth, GB/s, keyed by
+    /// `(workload fingerprint, batch, dimms)` (shared by the node designs
+    /// — see [`CycleKey`]). Each entry is a per-key [`OnceLock`] cell:
+    /// concurrent cold misses on the *same* key block on one replay
+    /// instead of duplicating it.
+    shards: Vec<Mutex<HashMap<CycleKey, Arc<OnceLock<f64>>>>>,
+}
+
+impl CycleState {
+    fn fresh(config: CyclePricerConfig) -> Self {
+        CycleState {
+            config,
+            shards: (0..TABLE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard_of(key: &CycleKey) -> usize {
+        // Deterministic mix of the key fields; batch (`key.3`) is the
+        // field that actually varies within one sweep.
+        let mix = key
+            .0
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(key.1)
+            .wrapping_add(key.2)
+            .wrapping_add(key.3 as u64)
+            .wrapping_add(key.4);
+        (mix % TABLE_SHARDS as u64) as usize
+    }
+
+    /// The memo cell for `key`, inserted empty if absent.
+    fn cell(&self, key: &CycleKey) -> Arc<OnceLock<f64>> {
+        let mut shard = self.shards[Self::shard_of(key)].lock().expect("shard lock");
+        Arc::clone(shard.entry(*key).or_default())
+    }
+}
+
 /// The cycle-calibrated backend.
 ///
 /// Holds an interior-mutable memoized latency table; the table is tied to
@@ -190,13 +244,23 @@ fn workload_fingerprint(w: &Workload) -> (u64, u64, u64) {
 /// and is invalidated whenever either changes ([`CyclePricer::set_config`]
 /// clears it; the model is borrowed immutably, so it cannot drift under a
 /// live pricer).
+///
+/// The pricer is `Sync`: one instance can serve every worker of a
+/// parallel sweep. The table is sharded ([`TABLE_SHARDS`] mutexes, held
+/// only for map probes) and each entry is a [`OnceLock`] cell, so cold
+/// misses for distinct keys replay concurrently while concurrent misses
+/// for the *same* key serialize behind exactly one replay
+/// ([`CyclePricer::replay_count`] counts them; see the concurrent-warm
+/// stress tests). Reconfiguration ([`CyclePricer::set_config`] /
+/// [`CyclePricer::set_dram_config`]) takes the state's write lock, so it
+/// waits out in-flight replays and can never leak a measurement taken
+/// under the old knobs into the fresh table.
 pub struct CyclePricer<'a> {
     model: &'a SystemModel,
-    config: CyclePricerConfig,
-    /// Memoized measured aggregate node gather bandwidth, GB/s, keyed by
-    /// `(workload fingerprint, batch, dimms)` (shared by the node designs
-    /// — see [`CycleKey`]).
-    table: RefCell<HashMap<CycleKey, f64>>,
+    state: RwLock<CycleState>,
+    /// Cold replays performed over this pricer's lifetime (monotone;
+    /// survives invalidation).
+    replays: AtomicU64,
 }
 
 impl<'a> CyclePricer<'a> {
@@ -210,34 +274,96 @@ impl<'a> CyclePricer<'a> {
     pub fn with_config(model: &'a SystemModel, config: CyclePricerConfig) -> Self {
         CyclePricer {
             model,
-            config,
-            table: RefCell::new(HashMap::new()),
+            state: RwLock::new(CycleState::fresh(config)),
+            replays: AtomicU64::new(0),
         }
     }
 
-    /// The knobs in use.
-    pub fn config(&self) -> &CyclePricerConfig {
-        &self.config
+    /// The knobs in use (a snapshot — the live value can change under
+    /// [`CyclePricer::set_config`]).
+    pub fn config(&self) -> CyclePricerConfig {
+        self.state.read().expect("state lock").config.clone()
     }
 
     /// Replace the replay knobs, invalidating the memoized latency table
     /// (cached cycles measured under the old DRAM timing would otherwise
-    /// leak into prices for the new one).
-    pub fn set_config(&mut self, config: CyclePricerConfig) {
-        self.config = config;
-        self.table.borrow_mut().clear();
+    /// leak into prices for the new one). Takes `&self`: the swap happens
+    /// under the state's write lock, so concurrent readers either finish
+    /// on the old `(config, table)` pair or start on the new one — never
+    /// a mix.
+    pub fn set_config(&self, config: CyclePricerConfig) {
+        *self.state.write().expect("state lock") = CycleState::fresh(config);
     }
 
     /// Replace only the local-DRAM configuration (e.g. a timing or
     /// scheduler knob), invalidating the latency table.
-    pub fn set_dram_config(&mut self, dram: DramConfig) {
-        self.config.nmp.dram = dram;
-        self.table.borrow_mut().clear();
+    pub fn set_dram_config(&self, dram: DramConfig) {
+        let mut state = self.state.write().expect("state lock");
+        let mut config = state.config.clone();
+        config.nmp.dram = dram;
+        *state = CycleState::fresh(config);
     }
 
-    /// Entries currently memoized.
+    /// Entries currently memoized (initialized cells only).
     pub fn cached_entries(&self) -> usize {
-        self.table.borrow().len()
+        self.cached_table().len()
+    }
+
+    /// Snapshot of the memoized latency table, sorted by key — the
+    /// bit-identity witness the thread-count-invariance tests compare.
+    pub fn cached_table(&self) -> Vec<(CycleKey, f64)> {
+        let state = self.state.read().expect("state lock");
+        let mut out: Vec<(CycleKey, f64)> = state
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("shard lock")
+                    .iter()
+                    .filter_map(|(k, cell)| cell.get().map(|&v| (*k, v)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Cold replays performed so far (monotone over the pricer's
+    /// lifetime). `warm`/`price` calls served from the table do not move
+    /// it; the concurrent-warm stress test pins it to the number of
+    /// *distinct* keys.
+    pub fn replay_count(&self) -> u64 {
+        self.replays.load(Ordering::SeqCst)
+    }
+
+    /// Replay every distinct batch shape in `shapes` concurrently on up
+    /// to `workers` threads, filling the latency table so later
+    /// (sequential or parallel) pricing is served from memo hits. Returns
+    /// the number of fresh measurements *this call's* closures performed —
+    /// a key measured by a racing `price`/`warm` on another thread counts
+    /// toward that caller, not this one (the global tally is
+    /// [`CyclePricer::replay_count`]).
+    ///
+    /// Shapes that alias the same [`CycleKey`] (duplicates, or workloads
+    /// with identical gather fingerprints) are deduplicated up front, and
+    /// the per-key [`OnceLock`] cells make even racing external `price`
+    /// calls share one replay — warming is idempotent and never measures
+    /// a key twice.
+    pub fn warm(&self, shapes: &[(Workload, usize)], workers: usize) -> u64 {
+        let dimms = self.config().dimms;
+        let mut seen = std::collections::HashSet::new();
+        let distinct: Vec<&(Workload, usize)> = shapes
+            .iter()
+            .filter(|(w, batch)| {
+                let (emb, lps, rows) = workload_fingerprint(w);
+                seen.insert((emb, lps, rows, *batch, dimms))
+            })
+            .collect();
+        let fresh = AtomicU64::new(0);
+        tensordimm_exec::par_map(&distinct, workers, |_, (w, batch)| {
+            self.measured_node_gbps_counted(w, *batch, Some(&fresh));
+        });
+        fresh.load(Ordering::SeqCst)
     }
 
     /// Measured aggregate TensorNode gather bandwidth for this batch
@@ -248,31 +374,54 @@ impl<'a> CyclePricer<'a> {
     /// scales by the DIMM count (slices are symmetric under the Fig. 7
     /// stripe mapping).
     pub fn measured_node_gbps(&self, workload: &Workload, batch: usize) -> f64 {
+        self.measured_node_gbps_counted(workload, batch, None)
+    }
+
+    /// [`CyclePricer::measured_node_gbps`], also bumping `fresh` when the
+    /// replay was performed by *this* call (rather than served from the
+    /// table or a racing initializer).
+    fn measured_node_gbps_counted(
+        &self,
+        workload: &Workload,
+        batch: usize,
+        fresh: Option<&AtomicU64>,
+    ) -> f64 {
+        let state = self.state.read().expect("state lock");
         let (emb, lps, rows) = workload_fingerprint(workload);
-        let key = (emb, lps, rows, batch, self.config.dimms);
-        if let Some(&gbps) = self.table.borrow().get(&key) {
-            return gbps;
-        }
-        let gbps = self.replay_gather_gbps(workload, batch);
-        self.table.borrow_mut().insert(key, gbps);
-        gbps
+        let key = (emb, lps, rows, batch, state.config.dimms);
+        let cell = state.cell(&key);
+        // The replay runs outside the shard mutex (other keys proceed in
+        // parallel) but inside the state read lock (a reconfiguration
+        // waits for it, then starts from an empty table).
+        *cell.get_or_init(|| {
+            self.replays.fetch_add(1, Ordering::SeqCst);
+            if let Some(f) = fresh {
+                f.fetch_add(1, Ordering::SeqCst);
+            }
+            Self::replay_gather_gbps(&state.config, self.model, workload, batch)
+        })
     }
 
     /// Cold replay: cycles on one DIMM → aggregate node GB/s.
-    fn replay_gather_gbps(&self, workload: &Workload, batch: usize) -> f64 {
-        let dimms = self.config.dimms.max(1);
+    fn replay_gather_gbps(
+        config: &CyclePricerConfig,
+        model: &SystemModel,
+        workload: &Workload,
+        batch: usize,
+    ) -> f64 {
+        let dimms = config.dimms.max(1);
         let vec_blocks = workload.embedding_bytes().div_ceil(64);
         // Whole-stripe padding, as the node's allocator provisions.
         let vb = vec_blocks.div_ceil(dimms) * dimms;
         // `.max(1)` guards a zero cap (and a zero-lookup workload): the
         // measurement always replays at least one gather.
         let lookups = (batch.max(1) as u64 * workload.lookups_per_sample())
-            .min(self.config.max_replayed_lookups as u64)
+            .min(config.max_replayed_lookups as u64)
             .max(1);
         let rows = workload.rows_per_table.max(1);
         // Deterministic per batch shape: the trace is part of the key.
         let seed = 0xc1c1e ^ (batch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ rows;
-        let indices = zipf_lookup_rows(lookups as usize, rows, self.model.config().zipf_s, seed);
+        let indices = zipf_lookup_rows(lookups as usize, rows, model.config().zipf_s, seed);
         // Distinct stripe-aligned operand regions (block addresses); the
         // NMP-local address map folds them into DIMM capacity.
         let region = (rows.max(lookups) + 1) * vb;
@@ -286,7 +435,7 @@ impl<'a> CyclePricer<'a> {
         let ctx = DimmContext::new(dimms, 0);
         let plan = AccessPlan::for_dimm(&instr, ctx, Some(&indices))
             .expect("generated gather plan is valid");
-        let mut core = NmpCore::new(self.config.nmp.clone()).expect("pricer NMP config is valid");
+        let mut core = NmpCore::new(config.nmp.clone()).expect("pricer NMP config is valid");
         let stats = core
             .run_plan(&instr, &plan, ctx)
             .expect("pricer DRAM config is valid");
@@ -354,8 +503,9 @@ impl BatchPricer for CyclePricer<'_> {
 impl std::fmt::Debug for CyclePricer<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CyclePricer")
-            .field("config", &self.config)
+            .field("config", &self.config())
             .field("cached_entries", &self.cached_entries())
+            .field("replay_count", &self.replay_count())
             .finish()
     }
 }
@@ -397,7 +547,8 @@ mod tests {
     #[test]
     fn table_invalidated_when_dram_knobs_change() {
         let model = SystemModel::paper_defaults();
-        let mut pricer = quick_pricer(&model);
+        // `&self` invalidation: no `mut` binding needed anywhere.
+        let pricer = quick_pricer(&model);
         let w = Workload::youtube();
         let before = pricer.measured_node_gbps(&w, 8);
         assert_eq!(pricer.cached_entries(), 1);
@@ -405,7 +556,7 @@ mod tests {
         // Halve the channel clock: the replay must be re-measured, not
         // served from the stale table — at half clock the measured
         // bandwidth must drop.
-        let mut dram = pricer.config().nmp.dram.clone();
+        let mut dram = pricer.config().nmp.dram;
         dram.timing.clock_mhz /= 2;
         pricer.set_dram_config(dram);
         assert_eq!(pricer.cached_entries(), 0, "stale entries must be dropped");
@@ -416,10 +567,67 @@ mod tests {
         );
 
         // set_config likewise clears.
-        let mut cfg = pricer.config().clone();
+        let mut cfg = pricer.config();
         cfg.dimms = 16;
         pricer.set_config(cfg);
         assert_eq!(pricer.cached_entries(), 0);
+        // Every replay above was a distinct cold measurement.
+        assert_eq!(pricer.replay_count(), 2);
+    }
+
+    #[test]
+    fn warm_deduplicates_and_counts_replays() {
+        let model = SystemModel::paper_defaults();
+        let pricer = quick_pricer(&model);
+        let w = Workload::ncf();
+        // Duplicated shapes and an aliasing workload clone: 2 distinct keys.
+        let shapes = vec![
+            (w.clone(), 4),
+            (w.clone(), 8),
+            (w.clone(), 4),
+            (w.clone(), 8),
+        ];
+        let fresh = pricer.warm(&shapes, 4);
+        assert_eq!(fresh, 2, "only distinct keys replay");
+        assert_eq!(pricer.replay_count(), 2);
+        assert_eq!(pricer.cached_entries(), 2);
+        // Warming again is a no-op served from the table.
+        assert_eq!(pricer.warm(&shapes, 4), 0);
+        assert_eq!(pricer.replay_count(), 2);
+        // And the warmed entries price bit-identically to a fresh pricer.
+        let cold = quick_pricer(&model);
+        assert_eq!(
+            pricer
+                .price(&w, 8, DesignPoint::Tdimm, 2)
+                .expect("valid")
+                .service_us
+                .to_bits(),
+            cold.price(&w, 8, DesignPoint::Tdimm, 2)
+                .expect("valid")
+                .service_us
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn cached_table_snapshot_is_sorted_and_stable() {
+        let model = SystemModel::paper_defaults();
+        let a = quick_pricer(&model);
+        let b = quick_pricer(&model);
+        let w = Workload::youtube();
+        let shapes: Vec<(Workload, usize)> =
+            [16usize, 4, 8].iter().map(|&x| (w.clone(), x)).collect();
+        a.warm(&shapes, 1);
+        b.warm(&shapes, 4);
+        let ta = a.cached_table();
+        let tb = b.cached_table();
+        assert_eq!(ta.len(), 3);
+        assert!(ta.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
+        // Thread-count invariance of the table contents, bit for bit.
+        let bits = |t: &[(super::CycleKey, f64)]| -> Vec<(super::CycleKey, u64)> {
+            t.iter().map(|&(k, v)| (k, v.to_bits())).collect()
+        };
+        assert_eq!(bits(&ta), bits(&tb));
     }
 
     #[test]

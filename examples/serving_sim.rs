@@ -14,7 +14,8 @@
 
 use tensordimm::models::Workload;
 use tensordimm::serving::{
-    offered_load_sweep, sustainable_qps, ArrivalProcess, BatchPolicy, RequestTrace, SimConfig,
+    offered_load_sweep, offered_load_sweep_par, sustainable_qps, ArrivalProcess, BatchPolicy,
+    RequestTrace, SimConfig,
 };
 use tensordimm::system::{DesignPoint, PricingBackend, SystemModel};
 
@@ -77,14 +78,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "queue max",
         "(us/occ/#)"
     );
+    // Sweep points are independent: fan them across the machine's cores
+    // (results are bit-identical to the sequential path at any count).
+    let workers = tensordimm::exec::worker_count(None);
     let mut sustainable = Vec::new();
     let mut all_points = Vec::new();
     for &design in &designs {
         let cfg = SimConfig::new(design, GPUS, policy);
-        let points = offered_load_sweep(&model, &workload, &cfg, &rates, REQUESTS, SEED)?;
+        let points =
+            offered_load_sweep_par(&model, &workload, &cfg, &rates, REQUESTS, SEED, workers)?;
         sustainable.push(sustainable_qps(&points, SLA_P99_US));
         all_points.push(points);
     }
+    // The parallel harness's core promise, demonstrated on one design:
+    // the sequential oracle produces the identical curve.
+    let tdimm_cfg = SimConfig::new(DesignPoint::Tdimm, GPUS, policy);
+    let sequential = offered_load_sweep(&model, &workload, &tdimm_cfg, &rates, REQUESTS, SEED)?;
+    assert_eq!(
+        sequential, all_points[0],
+        "parallel sweep must be bit-identical to the sequential path"
+    );
     for (i, &rate) in rates.iter().enumerate() {
         let t = &all_points[0][i].report;
         let p = &all_points[1][i].report;

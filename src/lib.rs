@@ -20,7 +20,10 @@
 //!   `PMEM`, `TDIMM`, `GPU-only`) evaluated in the paper,
 //! * [`serving`] — request-level discrete-event serving simulator: arrival
 //!   processes, dynamic batching, multi-GPU dispatch and tail-latency
-//!   metrics over the system model.
+//!   metrics over the system model,
+//! * [`exec`] — deterministic scoped worker-pool helpers behind the
+//!   parallel sweep/pricer/DRAM-channel paths (results bit-identical to
+//!   sequential execution).
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,7 @@ pub use tensordimm_cache as cache;
 pub use tensordimm_core as core;
 pub use tensordimm_dram as dram;
 pub use tensordimm_embedding as embedding;
+pub use tensordimm_exec as exec;
 pub use tensordimm_interconnect as interconnect;
 pub use tensordimm_isa as isa;
 pub use tensordimm_models as models;

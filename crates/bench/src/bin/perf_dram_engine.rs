@@ -18,6 +18,11 @@
 //! assertions (not the speed numbers) in seconds. The full run also writes
 //! `BENCH_dram_engine.json`, seeding the repo's perf trajectory.
 //!
+//! The `cached_gather` scenario exercises the hot-row SRAM tier in the
+//! gather replay: a zero-capacity cache must reproduce the uncached
+//! pipeline byte for byte, while a head-sized cache against a Zipf-0.9
+//! stream must hit and shorten the replay.
+//!
 //! Besides the tick-vs-event scenarios, the harness runs the **parallel
 //! execution layer** through its paces: a sequential-vs-parallel offered
 //! load sweep (`parallel_sweep`), a sequential-vs-concurrent cycle-pricer
@@ -36,9 +41,14 @@ use tensordimm_bench::traffic::{op_trace, OpExperiment, OpKind};
 use tensordimm_dram::{
     Completion, DramConfig, MemoryStats, MemorySystem, Request, Trace, TraceEntry, TraceRunner,
 };
+use tensordimm_embedding::zipf_lookup_rows;
+use tensordimm_isa::{DimmContext, Instruction};
 use tensordimm_models::Workload;
+use tensordimm_nmp::{NmpConfig, NmpCore, NmpRunStats};
 use tensordimm_serving::{offered_load_sweep, offered_load_sweep_par, BatchPolicy, SimConfig};
-use tensordimm_system::{BatchPricer, CyclePricer, CyclePricerConfig, DesignPoint, SystemModel};
+use tensordimm_system::{
+    BatchPricer, CyclePricer, CyclePricerConfig, DesignPoint, HotRowCacheConfig, SystemModel,
+};
 
 struct Scenario {
     name: &'static str,
@@ -214,6 +224,118 @@ fn main() {
             fast.skipped,
             oracle.wall_s,
             fast.wall_s,
+            speedup
+        );
+    }
+
+    // Hot-row cache in the cycle-level gather path: a Zipf-0.9 lookup
+    // stream replayed uncached, through a zero-capacity cache (must be
+    // byte-identical — the acceptance witness that the cache plumbing is
+    // inert when disabled), and through a head-sized cache (must hit and
+    // shorten the replay). The wall-clock floor on the hit path only arms
+    // on hosts with >= 4 cores, mirroring the parallel-floor policy.
+    {
+        let lookups: usize = if quick { 512 } else { 4096 };
+        let table_rows: u64 = 50_000;
+        let zipf_s = 0.9;
+        let indices = zipf_lookup_rows(lookups, table_rows, zipf_s, 0xcafe);
+        let g = Instruction::Gather {
+            table_base: 0,
+            idx_base: 1 << 27,
+            output_base: 1 << 28,
+            count: lookups as u64,
+            vec_blocks: 32,
+        };
+        let ctx = DimmContext::new(32, 0);
+        let run = |hot_rows: HotRowCacheConfig| -> (NmpRunStats, f64) {
+            let mut cfg = NmpConfig::paper();
+            cfg.hot_rows = hot_rows;
+            let mut core = NmpCore::new(cfg).expect("valid NMP config");
+            let start = Instant::now();
+            let stats = core
+                .run_instruction(&g, ctx, Some(&indices))
+                .expect("valid gather");
+            (stats, start.elapsed().as_secs_f64())
+        };
+
+        let (uncached, uncached_wall_s) = run(HotRowCacheConfig::disabled());
+        // Zero capacity with latent geometry knobs set: the cache code
+        // path must collapse to the uncached pipeline bit for bit.
+        let (zeroed, _) = run(HotRowCacheConfig {
+            capacity_rows: 0,
+            ways: 4,
+            hit_latency_cycles: 77,
+        });
+        assert_eq!(
+            uncached, zeroed,
+            "cached_gather: zero-capacity cache perturbed the uncached replay"
+        );
+
+        let capacity = 500; // head-sized: ~1% of the table's rows
+        let (cached, cached_wall_s) = run(HotRowCacheConfig::fully_associative(capacity));
+        assert!(
+            cached.hot_rows.hits > 0,
+            "cached_gather: Zipf-{zipf_s} head produced no hits"
+        );
+        assert_eq!(
+            cached.writes, uncached.writes,
+            "cached_gather: outputs must still drain to DRAM"
+        );
+        assert_eq!(
+            cached.reads,
+            uncached.reads - cached.hot_rows.hit_blocks,
+            "cached_gather: every hit block must come off the DRAM read stream"
+        );
+        assert!(
+            cached.cycles < uncached.cycles,
+            "cached_gather: cache did not shorten the replay \
+             ({} vs {} cycles)",
+            cached.cycles,
+            uncached.cycles
+        );
+
+        let hit_rate = cached.hot_rows.hit_rate();
+        let cycle_ratio = uncached.cycles as f64 / cached.cycles as f64;
+        let speedup = uncached_wall_s / cached_wall_s.max(1e-9);
+        // Fewer DRAM events to simulate should also be faster to simulate,
+        // but only gate wall clock where the host is quiet enough to owe it.
+        if !quick && cores >= 4 && speedup < 1.05 {
+            gate_failures.push(format!(
+                "cached_gather: hit path only {speedup:.2}x the uncached replay wall clock"
+            ));
+        }
+        rows.push(format!(
+            concat!(
+                "    {{\"scenario\": \"cached_gather\", \"lookups\": {}, ",
+                "\"table_rows\": {}, \"zipf_s\": {}, \"capacity_rows\": {}, ",
+                "\"hit_rate\": {:.4}, \"hits\": {}, \"misses\": {}, ",
+                "\"uncached_cycles\": {}, \"cached_cycles\": {}, ",
+                "\"cycle_speedup\": {:.3}, \"uncached_wall_s\": {:.6}, ",
+                "\"cached_wall_s\": {:.6}, \"wall_speedup\": {:.2}, ",
+                "\"identical_when_disabled\": true}}"
+            ),
+            lookups,
+            table_rows,
+            zipf_s,
+            capacity,
+            hit_rate,
+            cached.hot_rows.hits,
+            cached.hot_rows.misses,
+            uncached.cycles,
+            cached.cycles,
+            cycle_ratio,
+            uncached_wall_s,
+            cached_wall_s,
+            speedup,
+        ));
+        eprintln!(
+            "{:<24} {:>7} rows   {:>10.1}% hits  {:>10} cycles  unc  {:>8.3}s  cache {:>8.3}s  {:>6.1}x",
+            "cached_gather",
+            capacity,
+            hit_rate * 100.0,
+            cached.cycles,
+            uncached_wall_s,
+            cached_wall_s,
             speedup
         );
     }

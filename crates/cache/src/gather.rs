@@ -116,7 +116,7 @@ impl GatherModel {
             Distribution::Uniform
         };
         let mut stream = IndexStream::new(distribution, rows, workload.seed);
-        let lines_per_vec = (workload.embedding_bytes / 64).max(1);
+        let lines_per_vec = workload.embedding_bytes.div_ceil(64).max(1);
 
         // Warm the hierarchy with one pass of *distinct* draws so resident
         // tables measure steady-state hit rates while cold tables still
@@ -248,6 +248,23 @@ mod tests {
         let small = m.evaluate(&wl(64 << 30, 128, 0.0));
         let large = m.evaluate(&wl(64 << 30, 2048, 0.0));
         assert!(large.effective_gbps > small.effective_gbps);
+    }
+
+    /// Regression for the `lines_per_vec` undercount: a 160-byte vector
+    /// touches three 64-byte lines, not two. With `embedding_bytes / 64`
+    /// the 160B and 128B workloads modeled identical line counts (ratio
+    /// ~1.0); `div_ceil` restores the tail line, whose prefetched latency
+    /// (40 ns vs 100 ns cold) lifts the 160B bandwidth well clear.
+    #[test]
+    fn non_multiple_widths_count_the_tail_line() {
+        let m = GatherModel::xeon_like();
+        let b128 = m.evaluate(&wl(64 << 30, 128, 0.0)).effective_gbps;
+        let b160 = m.evaluate(&wl(64 << 30, 160, 0.0)).effective_gbps;
+        assert!(
+            b160 > 1.1 * b128,
+            "160B ({b160:.2} GB/s) must stream past 128B ({b128:.2} GB/s) \
+             via its prefetched third line"
+        );
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! A hot-row cache over embedding *rows* for the NMP gather path.
+//!
+//! RecNMP's observation (see PAPERS.md): embedding lookups are heavily
+//! Zipf-skewed, so a small SRAM cache of whole rows in front of the
+//! rank-level DRAM recovers most of the tail latency at tiny capacities.
+//! Unlike [`crate::Cache`], which models 64-byte CPU lines, this cache is
+//! keyed by *row id* — one entry covers every block of an embedding
+//! vector's slice on a DIMM, because the NMP core either has the whole
+//! row staged in SRAM or it does not.
+//!
+//! The cache stores tags only (the simulation is timing-level); hits are
+//! credited a fixed SRAM latency by the consumer
+//! (`tensordimm_nmp::NmpCore`), which also records how many 64-byte
+//! blocks each hit served via [`HotRowCache::credit_hit_blocks`].
+//!
+//! # Example
+//!
+//! ```
+//! use tensordimm_cache::{HotRowCache, HotRowCacheConfig};
+//!
+//! let mut c = HotRowCache::new(HotRowCacheConfig::fully_associative(2))?;
+//! assert!(!c.access(7)); // cold miss fills
+//! assert!(c.access(7)); // hot row hits
+//! assert!(!c.access(8));
+//! assert!(!c.access(9)); // evicts row 7 (LRU)
+//! assert!(!c.access(7));
+//! assert_eq!(c.stats().evictions, 2);
+//! # Ok::<(), tensordimm_cache::CacheError>(())
+//! ```
+
+use crate::CacheError;
+
+/// Geometry and latency of a hot-row cache. `capacity_rows == 0` disables
+/// the cache entirely: the gather path must behave bit-identically to an
+/// uncached replay (the regression suite enforces this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HotRowCacheConfig {
+    /// Rows the cache can hold (0 = disabled).
+    pub capacity_rows: u64,
+    /// Associativity: 0 = fully associative (one set of `capacity_rows`
+    /// ways — the LRU stack property holds, so hits are monotone in
+    /// capacity); otherwise `capacity_rows / ways` power-of-two sets.
+    pub ways: u64,
+    /// DRAM-clock cycles to stream one cached row slice out of SRAM (the
+    /// hit latency credited in place of the skipped DRAM reads).
+    pub hit_latency_cycles: u64,
+}
+
+impl HotRowCacheConfig {
+    /// The disabled configuration: every gather replays against DRAM.
+    pub fn disabled() -> Self {
+        HotRowCacheConfig {
+            capacity_rows: 0,
+            ways: 0,
+            hit_latency_cycles: Self::PAPER_HIT_LATENCY_CYCLES,
+        }
+    }
+
+    /// SRAM hit latency used by the presets: a row slice streams out of
+    /// the buffer-device SRAM in a handful of DRAM-bus cycles, an order
+    /// of magnitude under an activate + CAS.
+    pub const PAPER_HIT_LATENCY_CYCLES: u64 = 4;
+
+    /// A fully associative LRU cache of `capacity_rows` rows.
+    pub fn fully_associative(capacity_rows: u64) -> Self {
+        HotRowCacheConfig {
+            capacity_rows,
+            ways: 0,
+            hit_latency_cycles: Self::PAPER_HIT_LATENCY_CYCLES,
+        }
+    }
+
+    /// A set-associative LRU cache (`capacity_rows / ways` sets).
+    pub fn set_associative(capacity_rows: u64, ways: u64) -> Self {
+        HotRowCacheConfig {
+            capacity_rows,
+            ways,
+            hit_latency_cycles: Self::PAPER_HIT_LATENCY_CYCLES,
+        }
+    }
+
+    /// Whether the cache participates in the gather path at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity_rows > 0
+    }
+
+    /// Validate the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidGeometry`] when `capacity_rows` is not
+    /// a multiple of `ways`, or the set count is not a power of two
+    /// (fully associative and disabled configurations are always valid).
+    pub fn validate(&self) -> Result<(), CacheError> {
+        if !self.is_enabled() || self.ways == 0 {
+            return Ok(());
+        }
+        if !self.capacity_rows.is_multiple_of(self.ways) {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "capacity_rows",
+                value: self.capacity_rows as usize,
+            });
+        }
+        let sets = self.capacity_rows / self.ways;
+        if !sets.is_power_of_two() {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "sets",
+                value: sets as usize,
+            });
+        }
+        Ok(())
+    }
+
+    /// A stable fingerprint of every knob, for memo keys (the cycle
+    /// pricer's latency table must never alias measurements taken under
+    /// different cache configurations). The disabled configuration always
+    /// fingerprints to 0 regardless of its latent latency/way values —
+    /// those knobs are unobservable when the cache is off.
+    pub fn fingerprint(&self) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        self.capacity_rows
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(self.ways.wrapping_mul(0x2545_f491_4f6c_dd1d))
+            .wrapping_add(self.hit_latency_cycles)
+            | 1
+    }
+}
+
+impl Default for HotRowCacheConfig {
+    fn default() -> Self {
+        HotRowCacheConfig::disabled()
+    }
+}
+
+/// Hit/miss/eviction counters of one gather replay (all zero when the
+/// cache is disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotRowStats {
+    /// Row lookups served from the cache.
+    pub hits: u64,
+    /// Row lookups that went to DRAM (and filled the cache).
+    pub misses: u64,
+    /// Resident rows displaced by fills.
+    pub evictions: u64,
+    /// 64-byte blocks served from SRAM instead of DRAM (credited by the
+    /// consumer, which knows each row's block span on its DIMM).
+    pub hit_blocks: u64,
+}
+
+impl HotRowStats {
+    /// Hits over all row lookups, in `[0, 1]` (0 when nothing was looked
+    /// up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Merge another replay's counters into this one.
+    pub fn merge(&mut self, other: &HotRowStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.hit_blocks += other.hit_blocks;
+    }
+}
+
+/// An LRU cache of embedding-row tags (see the module docs).
+#[derive(Debug, Clone)]
+pub struct HotRowCache {
+    config: HotRowCacheConfig,
+    sets: usize,
+    ways: usize,
+    /// `sets × ways` row tags in LRU order (front = most recent);
+    /// `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    stats: HotRowStats,
+}
+
+impl HotRowCache {
+    /// Build a cache from `config`. A disabled (zero-capacity) config
+    /// yields a cache whose [`HotRowCache::access`] always misses without
+    /// filling — but callers on the hot path should skip construction
+    /// entirely when [`HotRowCacheConfig::is_enabled`] is false.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HotRowCacheConfig::validate`].
+    pub fn new(config: HotRowCacheConfig) -> Result<Self, CacheError> {
+        config.validate()?;
+        let (sets, ways) = if !config.is_enabled() {
+            (0, 0)
+        } else {
+            match config.capacity_rows.checked_div(config.ways) {
+                // ways == 0 selects full associativity: one set, all rows.
+                None => (1, config.capacity_rows as usize),
+                Some(sets) => (sets as usize, config.ways as usize),
+            }
+        };
+        Ok(HotRowCache {
+            config,
+            sets,
+            ways,
+            tags: vec![u64::MAX; sets * ways],
+            stats: HotRowStats::default(),
+        })
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> HotRowCacheConfig {
+        self.config
+    }
+
+    /// Look up `row`; returns `true` on hit. Misses allocate, evicting
+    /// the set's LRU row. A disabled cache always misses and never fills.
+    pub fn access(&mut self, row: u64) -> bool {
+        if self.sets == 0 {
+            self.stats.misses += 1;
+            return false;
+        }
+        let set = (row as usize) & (self.sets - 1);
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+        if let Some(pos) = ways.iter().position(|&t| t == row) {
+            ways[..=pos].rotate_right(1);
+            self.stats.hits += 1;
+            true
+        } else {
+            if ways[self.ways - 1] != u64::MAX {
+                self.stats.evictions += 1;
+            }
+            ways.rotate_right(1);
+            ways[0] = row;
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Record `blocks` 64-byte blocks served from SRAM by the last hit.
+    pub fn credit_hit_blocks(&mut self, blocks: u64) {
+        self.stats.hit_blocks += blocks;
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> HotRowStats {
+        self.stats
+    }
+
+    /// Clear contents and counters.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stats = HotRowStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(HotRowCacheConfig::disabled().validate().is_ok());
+        assert!(HotRowCacheConfig::fully_associative(7).validate().is_ok());
+        assert!(HotRowCacheConfig::set_associative(64, 4).validate().is_ok());
+        // 65 rows over 4 ways: not a multiple.
+        assert!(HotRowCacheConfig::set_associative(65, 4)
+            .validate()
+            .is_err());
+        // 48 / 4 = 12 sets: not a power of two.
+        assert!(HotRowCacheConfig::set_associative(48, 4)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn disabled_cache_always_misses_and_never_fills() {
+        let mut c = HotRowCache::new(HotRowCacheConfig::disabled()).unwrap();
+        for _ in 0..3 {
+            assert!(!c.access(5));
+        }
+        assert_eq!(c.stats().misses, 3);
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn lru_eviction_counts() {
+        let mut c = HotRowCache::new(HotRowCacheConfig::fully_associative(2)).unwrap();
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1)); // 1 is now MRU
+        assert!(!c.access(3)); // evicts 2
+        assert!(c.access(1));
+        assert!(!c.access(2)); // 2 was evicted; evicts 3
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn set_mapping_isolates_sets() {
+        // 4 sets x 1 way: rows 0 and 4 collide, rows 0 and 1 do not.
+        let mut c = HotRowCache::new(HotRowCacheConfig::set_associative(4, 1)).unwrap();
+        c.access(0);
+        c.access(1);
+        assert!(c.access(0));
+        c.access(4); // evicts 0
+        assert!(!c.access(0));
+        assert!(c.access(1), "other set must be untouched");
+    }
+
+    #[test]
+    fn fully_associative_has_stack_property() {
+        // LRU inclusion: any trace's hits are monotone in capacity.
+        let trace: Vec<u64> = (0..600u64).map(|i| (i * i + 7 * i) % 37).collect();
+        let mut prev_hits = 0;
+        for cap in [1u64, 2, 4, 8, 16, 37] {
+            let mut c = HotRowCache::new(HotRowCacheConfig::fully_associative(cap)).unwrap();
+            for &r in &trace {
+                c.access(r);
+            }
+            assert!(
+                c.stats().hits >= prev_hits,
+                "capacity {cap}: hits {} < smaller cache's {prev_hits}",
+                c.stats().hits
+            );
+            prev_hits = c.stats().hits;
+        }
+        // The whole-universe cache misses each distinct row exactly once.
+        let mut distinct = trace.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(prev_hits, (trace.len() - distinct.len()) as u64);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let mut s = HotRowStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+            hit_blocks: 12,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        s.merge(&HotRowStats {
+            hits: 1,
+            misses: 3,
+            evictions: 2,
+            hit_blocks: 4,
+        });
+        assert_eq!(s.hits + s.misses, 8);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.hit_blocks, 16);
+        assert_eq!(HotRowStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_configs() {
+        let a = HotRowCacheConfig::fully_associative(1024);
+        let b = HotRowCacheConfig::fully_associative(2048);
+        let c = HotRowCacheConfig::set_associative(1024, 4);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            0,
+            "enabled configs never collide with disabled"
+        );
+        // Disabled configs are indistinguishable no matter the latent knobs.
+        let mut off = HotRowCacheConfig::disabled();
+        off.hit_latency_cycles = 99;
+        assert_eq!(off.fingerprint(), 0);
+        assert_eq!(HotRowCacheConfig::default().fingerprint(), 0);
+    }
+}

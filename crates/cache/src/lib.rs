@@ -12,7 +12,10 @@
 //! * [`GatherModel`] — runs a synthetic gather index stream through the
 //!   hierarchy and converts miss rates plus MSHR-limited memory-level
 //!   parallelism into an *effective gather bandwidth*, the number the
-//!   end-to-end system model uses for CPU-resident embedding lookups.
+//!   end-to-end system model uses for CPU-resident embedding lookups,
+//! * [`HotRowCache`] — a row-granular LRU cache for the *NMP* side of the
+//!   house: the buffer-device SRAM tier that lets `NmpCore` skip DRAM
+//!   replay for Zipf-hot embedding rows (RecNMP-style hot-entry caching).
 //!
 //! # Example
 //!
@@ -39,10 +42,12 @@
 
 pub mod gather;
 pub mod hierarchy;
+pub mod hot_row;
 pub mod set_cache;
 
 pub use gather::{GatherModel, GatherReport, GatherWorkload};
 pub use hierarchy::{Hierarchy, HierarchyConfig, LevelStats};
+pub use hot_row::{HotRowCache, HotRowCacheConfig, HotRowStats};
 pub use set_cache::Cache;
 
 use std::error::Error;

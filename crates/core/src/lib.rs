@@ -89,6 +89,11 @@ pub enum CoreError {
         /// Table rows.
         rows: u64,
     },
+    /// A gather index does not fit the 32-bit TensorISA index format.
+    IndexTooWide {
+        /// Offending index.
+        index: u64,
+    },
     /// Data length does not match the table shape.
     DataShape {
         /// Provided length.
@@ -127,6 +132,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::RowOutOfRange { index, rows } => {
                 write!(f, "index {index} out of range for table of {rows} rows")
+            }
+            CoreError::IndexTooWide { index } => {
+                write!(
+                    f,
+                    "index {index} does not fit the 32-bit TensorISA index format"
+                )
             }
             CoreError::DataShape { got, expected } => {
                 write!(f, "data length {got} does not match table size {expected}")

@@ -67,7 +67,7 @@ pub use encode::{decode, decode_bytes, encode, EncodedInstruction};
 pub use exec::{execute_on_dimm, execute_on_node, DimmContext, ExecSummary};
 pub use instruction::{Instruction, OpCode, ReduceOp};
 pub use memory::{TensorMemory, VecMemory};
-pub use plan::{AccessKind, AccessPlan, BlockAccess};
+pub use plan::{AccessKind, AccessPlan, BlockAccess, GatherRow};
 pub use vector::{Vec16, LANES};
 
 use std::error::Error;

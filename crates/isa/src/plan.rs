@@ -22,6 +22,18 @@ pub enum AccessKind {
     Write,
 }
 
+/// The embedding row behind a GATHER table-data read, for consumers that
+/// track row locality (the NMP hot-row cache keys on rows, not blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GatherRow {
+    /// The row index being gathered.
+    pub row: u64,
+    /// Whether this is the first block of this DIMM's slice of the row
+    /// (the access where a row-cache lookup decides hit or miss for the
+    /// whole slice).
+    pub first_block: bool,
+}
+
 /// One block access in an instruction's plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockAccess {
@@ -29,6 +41,9 @@ pub struct BlockAccess {
     pub block: u64,
     /// Read or write.
     pub kind: AccessKind,
+    /// Row provenance: `Some` only on GATHER table-data reads; index-list
+    /// reads, outputs and the other opcodes carry `None`.
+    pub row: Option<GatherRow>,
 }
 
 impl BlockAccess {
@@ -108,7 +123,7 @@ impl AccessPlan {
                     let src_first = table_base + index * vec_blocks;
                     let mut k = tid;
                     while k < vec_blocks {
-                        plan.read(src_first + k);
+                        plan.read_row(src_first + k, index, k == tid);
                         plan.write(output_base + i * vec_blocks + k);
                         k += node_dim;
                     }
@@ -155,6 +170,15 @@ impl AccessPlan {
         self.accesses.push(BlockAccess {
             block,
             kind: AccessKind::Read,
+            row: None,
+        });
+    }
+
+    fn read_row(&mut self, block: u64, row: u64, first_block: bool) {
+        self.accesses.push(BlockAccess {
+            block,
+            kind: AccessKind::Read,
+            row: Some(GatherRow { row, first_block }),
         });
     }
 
@@ -162,6 +186,7 @@ impl AccessPlan {
         self.accesses.push(BlockAccess {
             block,
             kind: AccessKind::Write,
+            row: None,
         });
     }
 
@@ -312,8 +337,51 @@ mod tests {
         let a = BlockAccess {
             block: 3,
             kind: AccessKind::Write,
+            row: None,
         };
         assert_eq!(a.byte_addr(), 192);
+    }
+
+    /// GATHER table-data reads carry their row; exactly one per row visit
+    /// is flagged `first_block`, and nothing else is tagged.
+    #[test]
+    fn gather_reads_are_row_tagged() {
+        let idx: Vec<u64> = vec![5, 9, 5];
+        let g = Instruction::Gather {
+            table_base: 0,
+            idx_base: 4096,
+            output_base: 8192,
+            count: idx.len() as u64,
+            vec_blocks: VB,
+        };
+        for node_dim in [1u64, 4] {
+            let plan = AccessPlan::for_dimm(&g, DimmContext::new(node_dim, 0), Some(&idx)).unwrap();
+            let tagged: Vec<&BlockAccess> = plan.iter().filter(|a| a.row.is_some()).collect();
+            // Every table-data read is tagged: vec_blocks / node_dim per lookup.
+            assert_eq!(tagged.len() as u64, idx.len() as u64 * VB / node_dim);
+            assert!(tagged.iter().all(|a| a.kind == AccessKind::Read));
+            let firsts: Vec<u64> = tagged
+                .iter()
+                .filter_map(|a| a.row.filter(|r| r.first_block).map(|r| r.row))
+                .collect();
+            assert_eq!(firsts, idx, "one first-block tag per lookup, in order");
+            // Index-list reads and writes stay untagged.
+            assert!(plan
+                .iter()
+                .filter(|a| a.kind == AccessKind::Write)
+                .all(|a| a.row.is_none()));
+        }
+
+        // The other opcodes never tag.
+        let r = Instruction::Reduce {
+            input1: 0,
+            input2: 8,
+            output_base: 16,
+            count: 8,
+            op: ReduceOp::Add,
+        };
+        let plan = AccessPlan::for_dimm(&r, DimmContext::new(1, 0), None).unwrap();
+        assert!(plan.iter().all(|a| a.row.is_none()));
     }
 
     #[test]

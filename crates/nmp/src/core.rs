@@ -13,6 +13,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use tensordimm_cache::{HotRowCache, HotRowStats};
 use tensordimm_dram::{MemoryStats, MemorySystem, Request, RequestKind};
 use tensordimm_isa::{AccessKind, AccessPlan, DimmContext, Instruction};
 
@@ -37,6 +38,8 @@ pub struct NmpRunStats {
     pub input_stall_cycles: u64,
     /// Cycles the write stream stalled waiting for operands or the ALU.
     pub output_wait_cycles: u64,
+    /// Hot-row cache counters (all zero when the cache is disabled).
+    pub hot_rows: HotRowStats,
 }
 
 impl NmpRunStats {
@@ -51,6 +54,17 @@ impl NmpRunStats {
             return 0.0;
         }
         (self.reads + self.writes) as f64 * 64.0 / self.elapsed_ns()
+    }
+
+    /// Delivered gather bandwidth in GB/s: DRAM traffic *plus* the blocks
+    /// the hot-row cache served from SRAM. This is what the gather
+    /// consumer observes; it equals [`NmpRunStats::achieved_gbps`]
+    /// bit-for-bit when the cache is disabled or never hits.
+    pub fn delivered_gbps(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.reads + self.writes + self.hot_rows.hit_blocks) as f64 * 64.0 / self.elapsed_ns()
     }
 
     /// Achieved / peak local bandwidth.
@@ -77,10 +91,12 @@ impl NmpCore {
     ///
     /// # Errors
     ///
-    /// Returns [`NmpError::Dram`] for an invalid local-DRAM configuration or
+    /// Returns [`NmpError::Dram`] for an invalid local-DRAM configuration,
+    /// [`NmpError::Cache`] for a bad hot-row cache geometry, or
     /// [`NmpError::QueueTooSmall`] for queues below one 64-byte entry.
     pub fn new(config: NmpConfig) -> Result<Self, NmpError> {
         config.dram.validate()?;
+        config.hot_rows.validate()?;
         if config.input_queue_entries() == 0 {
             return Err(NmpError::QueueTooSmall {
                 bytes: config.input_queue_bytes,
@@ -148,6 +164,7 @@ impl NmpCore {
             alu_ops: 0,
             input_stall_cycles: 0,
             output_wait_cycles: 0,
+            hot_rows: HotRowStats::default(),
             memory: stats,
         })
     }
@@ -174,19 +191,53 @@ impl NmpCore {
             Instruction::Average { group, .. } => group + 1,
         };
 
+        // The optional hot-row SRAM tier: consulted once per gathered row
+        // (on its first owned block); a hit drops the row's DRAM reads
+        // from the stream entirely and sources its writes from SRAM.
+        let mut cache = if self.config.hot_rows.is_enabled() {
+            Some(HotRowCache::new(self.config.hot_rows)?)
+        } else {
+            None
+        };
+
         // Split the plan into an ordered read stream and an ordered write
         // stream; each write records how many reads precede it (its operand
-        // dependences are a subset of that prefix).
+        // dependences are a subset of that prefix) and whether its operand
+        // comes from the hot-row cache instead of DRAM.
         let mut reads: Vec<u64> = Vec::with_capacity(plan.len());
-        let mut writes: Vec<(u64, u64)> = Vec::new(); // (local addr, required reads)
+        // (local addr, required reads, operand from cache)
+        let mut writes: Vec<(u64, u64, bool)> = Vec::new();
+        // Whether the gather row currently being streamed hit the cache
+        // (spans the row's whole read/write block sequence; non-gather
+        // accesses carry no row tag and never set it).
+        let mut row_hit = false;
         for access in plan {
             let local = map
                 .local_byte_addr(access.block)
                 .unwrap_or_else(|| map.replicated_byte_addr(access.block))
                 % capacity;
             match access.kind {
-                AccessKind::Read => reads.push(local),
-                AccessKind::Write => writes.push((local, reads.len() as u64)),
+                AccessKind::Read => {
+                    match (&mut cache, access.row) {
+                        (Some(c), Some(row)) => {
+                            if row.first_block {
+                                row_hit = c.access(row.row);
+                            }
+                            if row_hit {
+                                c.credit_hit_blocks(1);
+                            } else {
+                                reads.push(local);
+                            }
+                        }
+                        _ => reads.push(local),
+                    };
+                }
+                AccessKind::Write => {
+                    // `row_hit` is only ever set while a gather row that
+                    // hit the cache is being streamed, and each gather
+                    // write directly follows its row's read slot.
+                    writes.push((local, reads.len() as u64, row_hit));
+                }
             }
         }
 
@@ -198,6 +249,11 @@ impl NmpCore {
         let mut reads_retired: u64 = 0;
         let mut read_done_times: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
         let mut pending_write_ready: Option<f64> = None;
+        // The SRAM read port serializes hit-row streaming: each cached
+        // block becomes available `hit_latency_cycles` after the port
+        // frees up.
+        let mut sram_free_at = 0.0f64;
+        let hit_latency = self.config.hot_rows.hit_latency_cycles as f64;
         let mut input_stall_cycles = 0u64;
         let mut output_wait_cycles = 0u64;
         // Reused across drains so the hot loop never allocates per cycle.
@@ -253,12 +309,16 @@ impl NmpCore {
             }
 
             // Issue the next write once its operands arrived and the ALU
-            // (if involved) has produced the result.
+            // (if involved) has produced the result. Cache-sourced writes
+            // wait on the SRAM read port instead of a DRAM read.
             if write_pos < writes.len() {
-                let (addr, required) = writes[write_pos];
+                let (addr, required, from_cache) = writes[write_pos];
                 if reads_retired >= required {
                     let ready = *pending_write_ready.get_or_insert_with(|| {
-                        if alu_ops_per_write == 0 {
+                        if from_cache {
+                            sram_free_at = sram_free_at.max(now as f64) + hit_latency;
+                            sram_free_at
+                        } else if alu_ops_per_write == 0 {
                             now as f64
                         } else {
                             alu.issue(now as f64, alu_ops_per_write)
@@ -338,6 +398,7 @@ impl NmpCore {
             alu_ops: alu.ops(),
             input_stall_cycles,
             output_wait_cycles,
+            hot_rows: cache.map(|c| c.stats()).unwrap_or_default(),
             memory: stats,
         })
     }
@@ -419,6 +480,85 @@ mod tests {
         assert_eq!(stats.alu_ops, 64 * 9);
         assert_eq!(stats.reads, 64 * 8);
         assert_eq!(stats.writes, 64);
+    }
+
+    /// The tentpole behavior: a head-sized hot-row cache on a repetitive
+    /// gather skips the hot rows' DRAM reads, finishes in fewer cycles,
+    /// and reports the skipped traffic in `hot_rows` / `delivered_gbps`.
+    #[test]
+    fn hot_row_cache_skips_dram_and_shortens_gathers() {
+        use tensordimm_cache::HotRowCacheConfig;
+        // 256 lookups over only 16 distinct rows: a 16-row cache captures
+        // every revisit.
+        let indices: Vec<u64> = (0..256).map(|i| (i * 37) % 16).collect();
+        let g = Instruction::Gather {
+            table_base: 0,
+            idx_base: 1 << 22,
+            output_base: 1 << 23,
+            count: indices.len() as u64,
+            vec_blocks: 32,
+        };
+        let ctx = DimmContext::new(32, 3);
+        let mut cold = NmpCore::new(no_refresh()).unwrap();
+        let base = cold.run_instruction(&g, ctx, Some(&indices)).unwrap();
+        assert_eq!(base.hot_rows, tensordimm_cache::HotRowStats::default());
+        assert_eq!(base.delivered_gbps(), base.achieved_gbps());
+
+        let mut cfg = no_refresh();
+        cfg.hot_rows = HotRowCacheConfig::fully_associative(16);
+        let mut warm = NmpCore::new(cfg).unwrap();
+        let s = warm.run_instruction(&g, ctx, Some(&indices)).unwrap();
+        assert_eq!(s.hot_rows.misses, 16, "one cold miss per distinct row");
+        assert_eq!(s.hot_rows.hits, 256 - 16);
+        assert_eq!(s.hot_rows.evictions, 0);
+        // Each hit row owns one block on this DIMM (32 vec_blocks / 32).
+        assert_eq!(s.hot_rows.hit_blocks, s.hot_rows.hits);
+        assert_eq!(s.reads, base.reads - s.hot_rows.hit_blocks);
+        assert_eq!(s.writes, base.writes, "outputs still drain to DRAM");
+        assert!(
+            s.cycles < base.cycles,
+            "cached {} vs uncached {} cycles",
+            s.cycles,
+            base.cycles
+        );
+        assert!(s.delivered_gbps() > s.achieved_gbps());
+        assert!(s.delivered_gbps() > base.delivered_gbps());
+    }
+
+    /// A zero-capacity cache must not perturb the pipeline at all — the
+    /// whole stats struct (completions, stalls, DRAM totals) is
+    /// byte-identical to a build with no cache plumbing exercised.
+    #[test]
+    fn disabled_cache_is_bit_identical() {
+        use tensordimm_cache::HotRowCacheConfig;
+        let indices: Vec<u64> = (0..256).map(|i| (i * 37) % 1024).collect();
+        let g = Instruction::Gather {
+            table_base: 0,
+            idx_base: 1 << 22,
+            output_base: 1 << 23,
+            count: indices.len() as u64,
+            vec_blocks: 32,
+        };
+        let ctx = DimmContext::new(32, 3);
+        let mut plain = NmpCore::new(NmpConfig::paper()).unwrap();
+        let mut zeroed_cfg = NmpConfig::paper();
+        zeroed_cfg.hot_rows = HotRowCacheConfig {
+            capacity_rows: 0,
+            ways: 4,
+            hit_latency_cycles: 77,
+        };
+        let mut zeroed = NmpCore::new(zeroed_cfg).unwrap();
+        let a = plain.run_instruction(&g, ctx, Some(&indices)).unwrap();
+        let b = zeroed.run_instruction(&g, ctx, Some(&indices)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_cache_geometry_is_rejected() {
+        use tensordimm_cache::HotRowCacheConfig;
+        let mut cfg = NmpConfig::paper();
+        cfg.hot_rows = HotRowCacheConfig::set_associative(48, 4); // 12 sets
+        assert!(matches!(NmpCore::new(cfg), Err(NmpError::Cache(_))));
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub struct NmpConfig {
     pub input_queue_bytes: usize,
     /// Capacity of the output SRAM queue (C) in bytes.
     pub output_queue_bytes: usize,
+    /// Hot-row SRAM cache in front of the local DRAM gather path
+    /// (disabled by default: the paper's TensorDIMM has no such tier —
+    /// RecNMP-style hot-entry caching is an opt-in extension).
+    pub hot_rows: tensordimm_cache::HotRowCacheConfig,
 }
 
 impl NmpConfig {
@@ -82,6 +86,7 @@ impl NmpConfig {
             alu_clock_mhz: 150,
             input_queue_bytes: 512,
             output_queue_bytes: 512,
+            hot_rows: tensordimm_cache::HotRowCacheConfig::disabled(),
         }
     }
 
@@ -115,6 +120,8 @@ pub enum NmpError {
     Dram(DramError),
     /// The instruction is malformed for this node.
     Isa(IsaError),
+    /// The hot-row cache geometry is invalid.
+    Cache(tensordimm_cache::CacheError),
     /// A queue capacity is too small to hold even one 64-byte entry.
     QueueTooSmall {
         /// Offending capacity in bytes.
@@ -127,6 +134,7 @@ impl fmt::Display for NmpError {
         match self {
             NmpError::Dram(e) => write!(f, "local DRAM error: {e}"),
             NmpError::Isa(e) => write!(f, "instruction error: {e}"),
+            NmpError::Cache(e) => write!(f, "hot-row cache error: {e}"),
             NmpError::QueueTooSmall { bytes } => {
                 write!(f, "SRAM queue of {bytes} bytes cannot hold a 64-byte entry")
             }
@@ -139,6 +147,7 @@ impl Error for NmpError {
         match self {
             NmpError::Dram(e) => Some(e),
             NmpError::Isa(e) => Some(e),
+            NmpError::Cache(e) => Some(e),
             NmpError::QueueTooSmall { .. } => None,
         }
     }
@@ -153,6 +162,12 @@ impl From<DramError> for NmpError {
 impl From<IsaError> for NmpError {
     fn from(e: IsaError) -> Self {
         NmpError::Isa(e)
+    }
+}
+
+impl From<tensordimm_cache::CacheError> for NmpError {
+    fn from(e: tensordimm_cache::CacheError) -> Self {
+        NmpError::Cache(e)
     }
 }
 

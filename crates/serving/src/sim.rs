@@ -55,7 +55,7 @@ use std::fmt;
 
 use tensordimm_interconnect::InterconnectError;
 use tensordimm_models::Workload;
-use tensordimm_system::{BatchPricer, DesignPoint, PricingBackend, SystemModel};
+use tensordimm_system::{BatchPricer, DesignPoint, HotRowCacheConfig, PricingBackend, SystemModel};
 
 use crate::batcher::{BatchPolicy, DynamicBatcher, QueuedRequest};
 use crate::metrics::{BatchStats, LatencySummary, QueueDepthTracker, QueueStats};
@@ -118,6 +118,10 @@ pub struct SimConfig {
     /// Which batch-pricing backend services are costed with (ignored by
     /// [`simulate_with_pricer`], which takes the pricer directly).
     pub pricing: PricingBackend,
+    /// Hot-row cache tier in front of the cycle backend's gather replays
+    /// (disabled by default; the analytic backend ignores it — see
+    /// [`PricingBackend::build_with_hot_rows`]).
+    pub hot_rows: HotRowCacheConfig,
     /// Optional cutoff, µs: events after this virtual time are not
     /// processed, leaving requests queued / in flight for conservation
     /// accounting. `None` runs until every request completes.
@@ -133,6 +137,7 @@ impl SimConfig {
             gpus,
             policy,
             pricing: PricingBackend::Analytic,
+            hot_rows: HotRowCacheConfig::disabled(),
             horizon_us: None,
         }
     }
@@ -146,6 +151,13 @@ impl SimConfig {
     /// Select the batch-pricing backend.
     pub fn with_pricing(mut self, pricing: PricingBackend) -> Self {
         self.pricing = pricing;
+        self
+    }
+
+    /// Put a hot-row cache in front of the cycle backend's gather
+    /// replays (no effect under the analytic backend).
+    pub fn with_hot_rows(mut self, hot_rows: HotRowCacheConfig) -> Self {
+        self.hot_rows = hot_rows;
         self
     }
 
@@ -365,7 +377,7 @@ pub fn simulate(
     cfg: &SimConfig,
     arrivals_us: &[f64],
 ) -> Result<SimReport, SimError> {
-    let pricer = cfg.pricing.build(model);
+    let pricer = cfg.pricing.build_with_hot_rows(model, cfg.hot_rows);
     simulate_with_pricer(workload, cfg, arrivals_us, pricer.as_ref())
 }
 

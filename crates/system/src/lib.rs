@@ -43,10 +43,12 @@ pub use breakdown::PhaseBreakdown;
 pub use design::DesignPoint;
 pub use model::{SystemModel, SystemModelConfig};
 pub use pricer::{
-    AnalyticPricer, BatchPricer, CycleKey, CyclePricer, CyclePricerConfig, PricingBackend,
+    AnalyticPricer, BatchPricer, CycleKey, CycleMeasure, CyclePricer, CyclePricerConfig,
+    PricingBackend,
 };
 pub use serving::{node_sharing, price_batch, sharing_sweep, BatchCost, ServingReport};
 pub use sweep::{geometric_mean, normalized_performance, speedup_matrix, SweepPoint};
+pub use tensordimm_cache::{HotRowCacheConfig, HotRowStats};
 
 #[cfg(test)]
 mod tests {

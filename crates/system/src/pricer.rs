@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
+use tensordimm_cache::{HotRowCacheConfig, HotRowStats};
 use tensordimm_dram::DramConfig;
 use tensordimm_embedding::zipf_lookup_rows;
 use tensordimm_interconnect::InterconnectError;
@@ -63,9 +64,25 @@ impl PricingBackend {
 
     /// Construct the backend over `model` with default knobs.
     pub fn build<'a>(self, model: &'a SystemModel) -> Box<dyn BatchPricer + 'a> {
+        self.build_with_hot_rows(model, HotRowCacheConfig::disabled())
+    }
+
+    /// Construct the backend with an explicit hot-row cache tier in front
+    /// of the gather replay. The analytic backend has no replay and
+    /// ignores the knob; the cycle backend folds it into its NMP
+    /// configuration (and thus into every [`CycleKey`]).
+    pub fn build_with_hot_rows<'a>(
+        self,
+        model: &'a SystemModel,
+        hot_rows: HotRowCacheConfig,
+    ) -> Box<dyn BatchPricer + 'a> {
         match self {
             PricingBackend::Analytic => Box::new(AnalyticPricer::new(model)),
-            PricingBackend::CycleCalibrated => Box::new(CyclePricer::new(model)),
+            PricingBackend::CycleCalibrated => {
+                let mut cfg = CyclePricerConfig::paper_defaults();
+                cfg.nmp.hot_rows = hot_rows;
+                Box::new(CyclePricer::with_config(model, cfg))
+            }
         }
     }
 }
@@ -177,7 +194,20 @@ impl Default for CyclePricerConfig {
 /// remote reads execute the identical gather access pattern on the same
 /// DIMMs (only the consumer differs — see EXPERIMENTS.md), so PMEM and
 /// TDIMM share one measurement instead of paying two identical replays.
-pub type CycleKey = (u64, u64, u64, usize, u64);
+/// The final field is the hot-row cache fingerprint
+/// ([`HotRowCacheConfig::fingerprint`]): bandwidth measured with a cache
+/// in front of DRAM must never alias an uncached measurement.
+pub type CycleKey = (u64, u64, u64, usize, u64, u64);
+
+/// One memoized replay: the measured aggregate bandwidth plus the hot-row
+/// cache counters of the replay that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleMeasure {
+    /// Aggregate delivered node gather bandwidth, GB/s.
+    pub gbps: f64,
+    /// Hot-row cache counters of the replay (zero when disabled).
+    pub hot_rows: HotRowStats,
+}
 
 fn workload_fingerprint(w: &Workload) -> (u64, u64, u64) {
     (
@@ -199,12 +229,12 @@ const TABLE_SHARDS: usize = 8;
 /// table.
 struct CycleState {
     config: CyclePricerConfig,
-    /// Memoized measured aggregate node gather bandwidth, GB/s, keyed by
-    /// `(workload fingerprint, batch, dimms)` (shared by the node designs
-    /// — see [`CycleKey`]). Each entry is a per-key [`OnceLock`] cell:
+    /// Memoized replay measurements keyed by `(workload fingerprint,
+    /// batch, dimms, hot-row fingerprint)` (shared by the node designs —
+    /// see [`CycleKey`]). Each entry is a per-key [`OnceLock`] cell:
     /// concurrent cold misses on the *same* key block on one replay
     /// instead of duplicating it.
-    shards: Vec<Mutex<HashMap<CycleKey, Arc<OnceLock<f64>>>>>,
+    shards: Vec<Mutex<HashMap<CycleKey, Arc<OnceLock<CycleMeasure>>>>>,
 }
 
 impl CycleState {
@@ -226,12 +256,13 @@ impl CycleState {
             .wrapping_add(key.1)
             .wrapping_add(key.2)
             .wrapping_add(key.3 as u64)
-            .wrapping_add(key.4);
+            .wrapping_add(key.4)
+            .wrapping_add(key.5);
         (mix % TABLE_SHARDS as u64) as usize
     }
 
     /// The memo cell for `key`, inserted empty if absent.
-    fn cell(&self, key: &CycleKey) -> Arc<OnceLock<f64>> {
+    fn cell(&self, key: &CycleKey) -> Arc<OnceLock<CycleMeasure>> {
         let mut shard = self.shards[Self::shard_of(key)].lock().expect("shard lock");
         Arc::clone(shard.entry(*key).or_default())
     }
@@ -304,6 +335,18 @@ impl<'a> CyclePricer<'a> {
         *state = CycleState::fresh(config);
     }
 
+    /// Replace only the hot-row cache configuration, invalidating the
+    /// latency table (measurements taken behind a different cache tier
+    /// must never be served for the new one). The fingerprint is also in
+    /// [`CycleKey`], so even a stale read could not alias — the clear
+    /// keeps the table from accumulating dead entries.
+    pub fn set_hot_row_config(&self, hot_rows: HotRowCacheConfig) {
+        let mut state = self.state.write().expect("state lock");
+        let mut config = state.config.clone();
+        config.nmp.hot_rows = hot_rows;
+        *state = CycleState::fresh(config);
+    }
+
     /// Entries currently memoized (initialized cells only).
     pub fn cached_entries(&self) -> usize {
         self.cached_table().len()
@@ -312,8 +355,25 @@ impl<'a> CyclePricer<'a> {
     /// Snapshot of the memoized latency table, sorted by key — the
     /// bit-identity witness the thread-count-invariance tests compare.
     pub fn cached_table(&self) -> Vec<(CycleKey, f64)> {
+        self.cached_measures()
+            .into_iter()
+            .map(|(k, m)| (k, m.gbps))
+            .collect()
+    }
+
+    /// Snapshot of the hot-row cache counters behind each memoized
+    /// measurement, sorted by key (all-zero stats when the cache is
+    /// disabled) — what the serving sweeps aggregate hit rates from.
+    pub fn cached_hot_row_table(&self) -> Vec<(CycleKey, HotRowStats)> {
+        self.cached_measures()
+            .into_iter()
+            .map(|(k, m)| (k, m.hot_rows))
+            .collect()
+    }
+
+    fn cached_measures(&self) -> Vec<(CycleKey, CycleMeasure)> {
         let state = self.state.read().expect("state lock");
-        let mut out: Vec<(CycleKey, f64)> = state
+        let mut out: Vec<(CycleKey, CycleMeasure)> = state
             .shards
             .iter()
             .flat_map(|s| {
@@ -350,18 +410,20 @@ impl<'a> CyclePricer<'a> {
     /// calls share one replay — warming is idempotent and never measures
     /// a key twice.
     pub fn warm(&self, shapes: &[(Workload, usize)], workers: usize) -> u64 {
-        let dimms = self.config().dimms;
+        let config = self.config();
+        let dimms = config.dimms;
+        let hot_rows = config.nmp.hot_rows.fingerprint();
         let mut seen = std::collections::HashSet::new();
         let distinct: Vec<&(Workload, usize)> = shapes
             .iter()
             .filter(|(w, batch)| {
                 let (emb, lps, rows) = workload_fingerprint(w);
-                seen.insert((emb, lps, rows, *batch, dimms))
+                seen.insert((emb, lps, rows, *batch, dimms, hot_rows))
             })
             .collect();
         let fresh = AtomicU64::new(0);
         tensordimm_exec::par_map(&distinct, workers, |_, (w, batch)| {
-            self.measured_node_gbps_counted(w, *batch, Some(&fresh));
+            self.measured_counted(w, *batch, Some(&fresh));
         });
         fresh.load(Ordering::SeqCst)
     }
@@ -374,21 +436,36 @@ impl<'a> CyclePricer<'a> {
     /// scales by the DIMM count (slices are symmetric under the Fig. 7
     /// stripe mapping).
     pub fn measured_node_gbps(&self, workload: &Workload, batch: usize) -> f64 {
-        self.measured_node_gbps_counted(workload, batch, None)
+        self.measured_counted(workload, batch, None).gbps
     }
 
-    /// [`CyclePricer::measured_node_gbps`], also bumping `fresh` when the
-    /// replay was performed by *this* call (rather than served from the
-    /// table or a racing initializer).
-    fn measured_node_gbps_counted(
+    /// The hot-row cache counters of this batch shape's (memoized)
+    /// replay — all zero when the cache is disabled. Shares the memo cell
+    /// with [`CyclePricer::measured_node_gbps`], so asking for the stats
+    /// never pays a second replay.
+    pub fn measured_hot_rows(&self, workload: &Workload, batch: usize) -> HotRowStats {
+        self.measured_counted(workload, batch, None).hot_rows
+    }
+
+    /// The memoized measurement, also bumping `fresh` when the replay was
+    /// performed by *this* call (rather than served from the table or a
+    /// racing initializer).
+    fn measured_counted(
         &self,
         workload: &Workload,
         batch: usize,
         fresh: Option<&AtomicU64>,
-    ) -> f64 {
+    ) -> CycleMeasure {
         let state = self.state.read().expect("state lock");
         let (emb, lps, rows) = workload_fingerprint(workload);
-        let key = (emb, lps, rows, batch, state.config.dimms);
+        let key = (
+            emb,
+            lps,
+            rows,
+            batch,
+            state.config.dimms,
+            state.config.nmp.hot_rows.fingerprint(),
+        );
         let cell = state.cell(&key);
         // The replay runs outside the shard mutex (other keys proceed in
         // parallel) but inside the state read lock (a reconfiguration
@@ -398,17 +475,18 @@ impl<'a> CyclePricer<'a> {
             if let Some(f) = fresh {
                 f.fetch_add(1, Ordering::SeqCst);
             }
-            Self::replay_gather_gbps(&state.config, self.model, workload, batch)
+            Self::replay_gather(&state.config, self.model, workload, batch)
         })
     }
 
-    /// Cold replay: cycles on one DIMM → aggregate node GB/s.
-    fn replay_gather_gbps(
+    /// Cold replay: cycles on one DIMM → aggregate node GB/s plus the
+    /// replay's hot-row cache counters.
+    fn replay_gather(
         config: &CyclePricerConfig,
         model: &SystemModel,
         workload: &Workload,
         batch: usize,
-    ) -> f64 {
+    ) -> CycleMeasure {
         let dimms = config.dimms.max(1);
         let vec_blocks = workload.embedding_bytes().div_ceil(64);
         // Whole-stripe padding, as the node's allocator provisions.
@@ -439,7 +517,12 @@ impl<'a> CyclePricer<'a> {
         let stats = core
             .run_plan(&instr, &plan, ctx)
             .expect("pricer DRAM config is valid");
-        stats.achieved_gbps() * dimms as f64
+        // Delivered bandwidth: DRAM traffic plus SRAM-served hit blocks —
+        // identical to `achieved_gbps` when the hot-row cache is disabled.
+        CycleMeasure {
+            gbps: stats.delivered_gbps() * dimms as f64,
+            hot_rows: stats.hot_rows,
+        }
     }
 
     /// The solo per-phase breakdown with the node-side gather phase
@@ -727,6 +810,74 @@ mod tests {
             pricer.cached_entries(),
             1,
             "concurrency is priced from one measurement"
+        );
+    }
+
+    /// Enabling a hot-row cache re-keys and re-measures: the new entries
+    /// never alias uncached ones, and a head-sized cache on a skewed
+    /// workload hits and delivers at least the uncached bandwidth.
+    #[test]
+    fn hot_row_config_rekeys_and_improves_delivery() {
+        let model = SystemModel::paper_defaults();
+        let pricer = quick_pricer(&model);
+        let w = Workload::youtube();
+        let uncached = pricer.measured_node_gbps(&w, 16);
+        assert_eq!(pricer.measured_hot_rows(&w, 16), HotRowStats::default());
+        let uncached_keys: Vec<_> = pricer.cached_table();
+        assert_eq!(uncached_keys.len(), 1);
+        assert_eq!(uncached_keys[0].0 .5, 0, "disabled cache fingerprints 0");
+
+        // A cache sized for the whole replayed trace's hot head.
+        pricer.set_hot_row_config(HotRowCacheConfig::fully_associative(100_000));
+        assert_eq!(pricer.cached_entries(), 0, "setter invalidates");
+        let cached = pricer.measured_node_gbps(&w, 16);
+        let stats = pricer.measured_hot_rows(&w, 16);
+        assert!(stats.hits > 0, "Zipf head must revisit rows: {stats:?}");
+        assert!(
+            cached >= uncached,
+            "cache must not lose bandwidth: {cached:.1} vs {uncached:.1}"
+        );
+        let table = pricer.cached_hot_row_table();
+        assert_eq!(table.len(), 1);
+        assert_ne!(table[0].0 .5, 0);
+        assert_eq!(table[0].1, stats);
+        assert_eq!(pricer.replay_count(), 2, "distinct keys, one replay each");
+    }
+
+    #[test]
+    fn build_with_hot_rows_flows_into_cycle_backend() {
+        let model = SystemModel::paper_defaults();
+        let hot = HotRowCacheConfig::fully_associative(4096);
+        // Analytic ignores the knob entirely.
+        let a = PricingBackend::Analytic.build_with_hot_rows(&model, hot);
+        let plain = AnalyticPricer::new(&model);
+        let w = Workload::ncf();
+        assert_eq!(
+            a.price(&w, 8, DesignPoint::Tdimm, 2)
+                .expect("valid")
+                .service_us
+                .to_bits(),
+            plain
+                .price(&w, 8, DesignPoint::Tdimm, 2)
+                .expect("valid")
+                .service_us
+                .to_bits()
+        );
+        // The cycle backend matches an explicitly configured pricer.
+        let b = PricingBackend::CycleCalibrated.build_with_hot_rows(&model, hot);
+        let mut cfg = CyclePricerConfig::paper_defaults();
+        cfg.nmp.hot_rows = hot;
+        let explicit = CyclePricer::with_config(&model, cfg);
+        assert_eq!(
+            b.price(&w, 8, DesignPoint::Tdimm, 2)
+                .expect("valid")
+                .service_us
+                .to_bits(),
+            explicit
+                .price(&w, 8, DesignPoint::Tdimm, 2)
+                .expect("valid")
+                .service_us
+                .to_bits()
         );
     }
 

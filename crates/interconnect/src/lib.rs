@@ -22,10 +22,12 @@
 //! # Ok::<(), tensordimm_interconnect::InterconnectError>(())
 //! ```
 
+pub mod fabric;
 pub mod link;
 pub mod switch;
 pub mod topology;
 
+pub use fabric::{Fabric, FabricTopology, LinkId, TopologyKind};
 pub use link::{Link, TransferReport};
 pub use switch::{Flow, Switch};
 pub use topology::{Device, Topology};
@@ -56,6 +58,13 @@ pub enum InterconnectError {
         /// Which parameter.
         parameter: &'static str,
     },
+    /// A fabric node index exceeds the topology's node count.
+    UnknownNode {
+        /// The requested node index.
+        index: usize,
+        /// Nodes present.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for InterconnectError {
@@ -69,6 +78,9 @@ impl fmt::Display for InterconnectError {
             }
             InterconnectError::InvalidLink { parameter } => {
                 write!(f, "link parameter {parameter} must be positive")
+            }
+            InterconnectError::UnknownNode { index, nodes } => {
+                write!(f, "node {index} does not exist (fabric has {nodes})")
             }
         }
     }

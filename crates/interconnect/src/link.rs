@@ -33,25 +33,28 @@ impl Link {
     ///
     /// # Errors
     ///
-    /// Returns [`InterconnectError::InvalidLink`] for non-positive
-    /// bandwidth or efficiency.
+    /// Returns [`InterconnectError::InvalidLink`] for non-positive or
+    /// non-finite bandwidth, efficiency, or setup latency. Finiteness
+    /// matters: NaN slips through every ordering comparison (all are
+    /// false), and a NaN parameter would silently poison every transfer
+    /// time computed downstream.
     pub fn new(
         name: &'static str,
         bandwidth_gbps: f64,
         efficiency: f64,
         setup_us: f64,
     ) -> Result<Self, InterconnectError> {
-        if bandwidth_gbps <= 0.0 {
+        if !bandwidth_gbps.is_finite() || bandwidth_gbps <= 0.0 {
             return Err(InterconnectError::InvalidLink {
                 parameter: "bandwidth_gbps",
             });
         }
-        if efficiency <= 0.0 || efficiency > 1.0 {
+        if !efficiency.is_finite() || efficiency <= 0.0 || efficiency > 1.0 {
             return Err(InterconnectError::InvalidLink {
                 parameter: "efficiency",
             });
         }
-        if setup_us < 0.0 {
+        if !setup_us.is_finite() || setup_us < 0.0 {
             return Err(InterconnectError::InvalidLink {
                 parameter: "setup_us",
             });
@@ -186,6 +189,29 @@ mod tests {
         assert!(Link::new("x", 1.0, 0.0, 0.0).is_err());
         assert!(Link::new("x", 1.0, 1.5, 0.0).is_err());
         assert!(Link::new("x", 1.0, 1.0, -1.0).is_err());
+    }
+
+    /// Regression: NaN passes every ordering comparison (`NaN <= 0.0` is
+    /// false), so pre-fix `Link::new` accepted NaN parameters and produced
+    /// NaN transfer times everywhere downstream. Infinities likewise.
+    #[test]
+    fn non_finite_links_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(Link::new("x", bad, 0.9, 5.0).is_err(), "bandwidth {bad}");
+            assert!(Link::new("x", 25.0, bad, 5.0).is_err(), "efficiency {bad}");
+            assert!(Link::new("x", 25.0, 0.9, bad).is_err(), "setup {bad}");
+            assert!(Link::nvlink_class(bad).is_err(), "nvlink_class {bad}");
+        }
+        let parameter = |l: Result<Link, InterconnectError>| match l {
+            Err(InterconnectError::InvalidLink { parameter }) => parameter,
+            other => panic!("expected InvalidLink, got {other:?}"),
+        };
+        assert_eq!(
+            parameter(Link::new("x", f64::NAN, 0.9, 5.0)),
+            "bandwidth_gbps"
+        );
+        assert_eq!(parameter(Link::new("x", 25.0, f64::NAN, 5.0)), "efficiency");
+        assert_eq!(parameter(Link::new("x", 25.0, 0.9, f64::NAN)), "setup_us");
     }
 
     #[test]

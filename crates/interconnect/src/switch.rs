@@ -104,12 +104,20 @@ impl Switch {
                 let mut residual = vec![cap; self.ports];
                 let mut degree = vec![0usize; self.ports];
                 for &i in &active {
+                    // A self-loop (loopback through the crossbar) occupies
+                    // its port once, not twice — charging both the egress
+                    // and ingress side of the same port would halve a lone
+                    // loopback's bandwidth for no physical reason.
                     if frozen[i] {
                         residual[flows[i].from] -= rate[i];
-                        residual[flows[i].to] -= rate[i];
+                        if flows[i].to != flows[i].from {
+                            residual[flows[i].to] -= rate[i];
+                        }
                     } else {
                         degree[flows[i].from] += 1;
-                        degree[flows[i].to] += 1;
+                        if flows[i].to != flows[i].from {
+                            degree[flows[i].to] += 1;
+                        }
                     }
                 }
                 let bottleneck = (0..self.ports)
@@ -254,6 +262,53 @@ mod tests {
         // The large flow runs at half rate only while the small one lives.
         assert!(t[1] < 1.2 * solo_large, "{} vs {}", t[1], solo_large);
         assert!(t[0] < t[1]);
+    }
+
+    /// Regression: a self-loop used to add port `p` to its own degree and
+    /// residual twice, so a *lone* loopback flow ran at half the link
+    /// bandwidth. The semantic pinned here: a loopback occupies its port
+    /// once and completes exactly like any other single flow.
+    #[test]
+    fn lone_self_loop_runs_at_full_bandwidth() {
+        let s = sw();
+        let t = s
+            .concurrent_transfer_us(&[Flow {
+                from: 3,
+                to: 3,
+                bytes: 1 << 26,
+            }])
+            .expect("ports in range");
+        let solo = Link::nvlink2_x6().transfer_time_us(1 << 26);
+        assert!(
+            (t[0] - solo).abs() / solo < 1e-9,
+            "self-loop {} vs solo {solo}",
+            t[0]
+        );
+    }
+
+    /// A self-loop still contends like one flow with other users of its
+    /// port: loopback + one incoming flow split port 3 evenly.
+    #[test]
+    fn self_loop_contends_once_with_port_sharers() {
+        let s = sw();
+        let t = s
+            .concurrent_transfer_us(&[
+                Flow {
+                    from: 3,
+                    to: 3,
+                    bytes: 1 << 26,
+                },
+                Flow {
+                    from: 0,
+                    to: 3,
+                    bytes: 1 << 26,
+                },
+            ])
+            .expect("ports in range");
+        let solo = Link::nvlink2_x6().transfer_time_us(1 << 26);
+        for x in &t {
+            assert!(*x > 1.9 * solo && *x < 2.1 * solo, "{x} vs solo {solo}");
+        }
     }
 
     #[test]

@@ -52,3 +52,4 @@ pub use sim::{simulate, simulate_with_pricer, SimConfig, SimError, SimReport};
 pub use sweep::{
     offered_load_sweep, offered_load_sweep_par, sustainable_qps, sweep_arrivals_us, LoadPoint,
 };
+pub use tensordimm_system::{TopologyKind, TransferBackend};

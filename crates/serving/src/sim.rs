@@ -55,7 +55,9 @@ use std::fmt;
 
 use tensordimm_interconnect::InterconnectError;
 use tensordimm_models::Workload;
-use tensordimm_system::{BatchPricer, DesignPoint, HotRowCacheConfig, PricingBackend, SystemModel};
+use tensordimm_system::{
+    BatchPricer, DesignPoint, HotRowCacheConfig, PricingBackend, SystemModel, TransferBackend,
+};
 
 use crate::batcher::{BatchPolicy, DynamicBatcher, QueuedRequest};
 use crate::metrics::{BatchStats, LatencySummary, QueueDepthTracker, QueueStats};
@@ -126,6 +128,11 @@ pub struct SimConfig {
     /// processed, leaving requests queued / in flight for conservation
     /// accounting. `None` runs until every request completes.
     pub horizon_us: Option<f64>,
+    /// Override the model's contended-transfer engine for this run
+    /// (`None` inherits whatever the [`SystemModel`] is configured with,
+    /// so a fabric-configured model is not silently reverted). Ignored by
+    /// [`simulate_with_pricer`], whose caller owns the pricer.
+    pub transfer: Option<TransferBackend>,
 }
 
 impl SimConfig {
@@ -139,6 +146,7 @@ impl SimConfig {
             pricing: PricingBackend::Analytic,
             hot_rows: HotRowCacheConfig::disabled(),
             horizon_us: None,
+            transfer: None,
         }
     }
 
@@ -158,6 +166,13 @@ impl SimConfig {
     /// replays (no effect under the analytic backend).
     pub fn with_hot_rows(mut self, hot_rows: HotRowCacheConfig) -> Self {
         self.hot_rows = hot_rows;
+        self
+    }
+
+    /// Price contended node → GPU transfers with this engine (analytic
+    /// crossbar or measured fabric) instead of the model's configured one.
+    pub fn with_transfer(mut self, transfer: TransferBackend) -> Self {
+        self.transfer = Some(transfer);
         self
     }
 
@@ -377,8 +392,24 @@ pub fn simulate(
     cfg: &SimConfig,
     arrivals_us: &[f64],
 ) -> Result<SimReport, SimError> {
-    let pricer = cfg.pricing.build_with_hot_rows(model, cfg.hot_rows);
+    let model = resolve_transfer(model, cfg);
+    let pricer = cfg.pricing.build_with_hot_rows(&model, cfg.hot_rows);
     simulate_with_pricer(workload, cfg, arrivals_us, pricer.as_ref())
+}
+
+/// The model to price with: `cfg.transfer` overrides the model's
+/// contended-transfer engine (cloning only when they actually differ);
+/// `None` inherits the model's own configuration.
+pub(crate) fn resolve_transfer<'a>(
+    model: &'a SystemModel,
+    cfg: &SimConfig,
+) -> std::borrow::Cow<'a, SystemModel> {
+    match cfg.transfer {
+        Some(t) if t != model.config().transfer => {
+            std::borrow::Cow::Owned(model.clone().with_transfer(t))
+        }
+        _ => std::borrow::Cow::Borrowed(model),
+    }
 }
 
 /// [`simulate`] with an explicit pricing backend. `cfg.pricing` is ignored
@@ -783,6 +814,38 @@ mod tests {
             a.latency.p99_us, analytic.latency.p99_us,
             "backends should not be bit-equal on node designs"
         );
+    }
+
+    #[test]
+    fn fabric_transfer_backend_is_selectable_and_close_to_analytic() {
+        let m = model();
+        let w = Workload::facebook();
+        let arrivals = poisson(120_000.0, 200, 23);
+        let base = SimConfig::new(DesignPoint::Pmem, 4, BatchPolicy::new(16, 200.0));
+        let analytic = simulate(&m, &w, &base, &arrivals).expect("valid");
+        let fabric_cfg = base.with_transfer(TransferBackend::Fabric(
+            tensordimm_system::TopologyKind::FullyConnected,
+        ));
+        let fabric = simulate(&m, &w, &fabric_cfg, &arrivals).expect("valid");
+        assert_eq!(fabric.completed, 200);
+        // Same crossbar, measured instead of closed-form: tails agree
+        // loosely, and the run stays deterministic.
+        let rel = (fabric.latency.p99_us - analytic.latency.p99_us).abs() / analytic.latency.p99_us;
+        assert!(
+            rel < 0.15,
+            "fabric p99 {} vs analytic p99 {}",
+            fabric.latency.p99_us,
+            analytic.latency.p99_us
+        );
+        let again = simulate(&m, &w, &fabric_cfg, &arrivals).expect("valid");
+        assert_eq!(fabric, again);
+        // `None` inherits the model's own engine: a fabric-configured
+        // model without an override must match the explicit override.
+        let fabric_model = m.clone().with_transfer(TransferBackend::Fabric(
+            tensordimm_system::TopologyKind::FullyConnected,
+        ));
+        let inherited = simulate(&fabric_model, &w, &base, &arrivals).expect("valid");
+        assert_eq!(inherited, fabric);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod sweep;
 
 pub use breakdown::PhaseBreakdown;
 pub use design::DesignPoint;
-pub use model::{SystemModel, SystemModelConfig};
+pub use model::{SystemModel, SystemModelConfig, TransferBackend};
 pub use pricer::{
     AnalyticPricer, BatchPricer, CycleKey, CycleMeasure, CyclePricer, CyclePricerConfig,
     PricingBackend,
@@ -49,6 +49,7 @@ pub use pricer::{
 pub use serving::{node_sharing, price_batch, sharing_sweep, BatchCost, ServingReport};
 pub use sweep::{geometric_mean, normalized_performance, speedup_matrix, SweepPoint};
 pub use tensordimm_cache::{HotRowCacheConfig, HotRowStats};
+pub use tensordimm_interconnect::TopologyKind;
 
 #[cfg(test)]
 mod tests {

@@ -9,7 +9,7 @@
 //! reduction (shipping pooled instead of gathered tensors) is what lets a
 //! single node feed many GPUs.
 
-use tensordimm_interconnect::{Flow, InterconnectError, Switch};
+use tensordimm_interconnect::InterconnectError;
 use tensordimm_models::Workload;
 
 use crate::breakdown::PhaseBreakdown;
@@ -97,24 +97,14 @@ pub(crate) fn contended_cost(
             port_bound: false,
         });
     }
-    let link = model.config().topology.gpu_link().clone();
-    let switch = Switch::new(active_gpus + 1, link)?;
     let bytes = match design {
         DesignPoint::Tdimm => workload.pooled_bytes(batch),
         _ => workload.gathered_bytes(batch),
     };
-    // All active GPUs pull their transfer from node port 0 concurrently.
-    let flows: Vec<Flow> = (0..active_gpus)
-        .map(|g| Flow {
-            from: 0,
-            to: g + 1,
-            bytes,
-        })
-        .collect();
-    let contended_transfer_us = switch
-        .concurrent_transfer_us(&flows)?
-        .into_iter()
-        .fold(0.0f64, f64::max);
+    // All active GPUs pull their transfer from node port 0 concurrently;
+    // the model memoizes the result per (bytes, active_gpus) and prices it
+    // with the configured backend (analytic crossbar or measured fabric).
+    let contended_transfer_us = model.contended_node_transfer_us(bytes, active_gpus)?;
 
     let other_phases_us = solo.lookup_us + solo.dnn_us + solo.other_us;
     // The node-side lookup phase is also shared: N GPUs' gathers divide the

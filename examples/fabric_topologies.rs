@@ -1,0 +1,84 @@
+//! Tour of the cycle-level interconnect fabric: route a broadcast over
+//! `Line`, `Ring` and `FullyConnected` layouts, watch per-link traffic,
+//! and compare the measured crossbar against the closed-form `Switch`.
+//!
+//! Run with: `cargo run --release --example fabric_topologies`
+
+use tensordimm::interconnect::fabric::Fabric;
+use tensordimm::interconnect::{Flow, Link, Switch, TopologyKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let link = Link::nvlink2_x6();
+    let nodes = 5; // node 0 is the TensorNode, 1..=4 are GPUs
+    let bytes = 16u64 << 20;
+
+    // The same broadcast — the TensorNode feeding every GPU 16 MiB — on
+    // each physical layout.
+    println!("TensorNode broadcast to {} GPUs, 16 MiB each:", nodes - 1);
+    for kind in TopologyKind::all() {
+        let mut fabric = Fabric::new(kind.build(nodes, link.clone())?);
+        for gpu in 1..nodes {
+            // The sender stalls only for the local handoff; transit is
+            // the fabric's business.
+            let receipt = fabric.inject(0, gpu, bytes)?;
+            assert_eq!(receipt.handoff_us, fabric.topology().local_handoff_us());
+        }
+        let deliveries = fabric.run_until_idle(1.0)?;
+        let slowest = deliveries
+            .iter()
+            .map(|d| d.delivered_us)
+            .fold(0.0f64, f64::max);
+        println!(
+            "  {:>16}: slowest delivery {slowest:>7.1} µs",
+            kind.to_string()
+        );
+
+        // Per-link traffic: on the line, everything funnels through the
+        // 0→1 wire; the full crossbar spreads it over private links.
+        let stats = fabric.stats();
+        let busiest = stats
+            .per_link
+            .iter()
+            .max_by_key(|(_, s)| (s.forwarded_bytes, s.peak_in_flight))
+            .expect("every layout has links");
+        println!(
+            "  {:>16}  busiest link {}: {} msgs, {:.0} MiB, peak {} in flight",
+            "",
+            busiest.0,
+            busiest.1.forwarded_messages,
+            busiest.1.forwarded_bytes as f64 / (1 << 20) as f64,
+            busiest.1.peak_in_flight
+        );
+    }
+
+    // The fully-connected fabric is the measured twin of the analytic
+    // Switch: same flows, agreement within a few percent.
+    let switch = Switch::new(nodes, link.clone())?;
+    let flows: Vec<Flow> = (1..nodes)
+        .map(|g| Flow {
+            from: 0,
+            to: g,
+            bytes,
+        })
+        .collect();
+    let analytic = switch
+        .concurrent_transfer_us(&flows)?
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    let mut fabric = Fabric::new(TopologyKind::FullyConnected.build(nodes, link)?);
+    for g in 1..nodes {
+        fabric.inject(0, g, bytes)?;
+    }
+    let measured = fabric
+        .run_until_idle(analytic / 4096.0)?
+        .into_iter()
+        .map(|d| d.delivered_us)
+        .fold(0.0f64, f64::max);
+    let delta = 100.0 * (measured - analytic).abs() / analytic;
+    println!();
+    println!(
+        "analytic Switch {analytic:.1} µs vs measured crossbar {measured:.1} µs ({delta:.1}% apart)"
+    );
+    assert!(delta < 10.0, "fabric and oracle should agree");
+    Ok(())
+}

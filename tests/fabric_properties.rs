@@ -1,0 +1,174 @@
+//! Property tests for the cycle-level interconnect fabric: message
+//! conservation (every injected message delivered exactly once),
+//! termination only after in-flight messages drain, bit-identical
+//! determinism (per run and across sweep worker counts), and the
+//! fully-connected fabric converging to the analytic `Switch` oracle on
+//! single-bottleneck flow sets.
+
+use proptest::prelude::*;
+
+use tensordimm::interconnect::fabric::Fabric;
+use tensordimm::interconnect::{Flow, Link, Switch, TopologyKind};
+use tensordimm::models::{Workload, WorkloadName};
+use tensordimm::serving::{offered_load_sweep_par, BatchPolicy, SimConfig};
+use tensordimm::system::{DesignPoint, SystemModel, TransferBackend};
+
+fn arb_kind() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::Line),
+        Just(TopologyKind::Ring),
+        Just(TopologyKind::FullyConnected),
+    ]
+}
+
+/// Random (from, to, bytes) message sets over an `n`-node fabric.
+fn arb_messages(n: usize) -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
+    prop::collection::vec((0..n, 0..n, (1u64 << 16)..(1 << 24)), 1..12)
+}
+
+fn build(kind: TopologyKind, nodes: usize) -> Fabric {
+    Fabric::new(
+        kind.build(nodes, Link::nvlink2_x6())
+            .expect("nonzero nodes, valid link"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conservation: every injected message is delivered exactly once —
+    /// no loss, no duplication — on every layout, for arbitrary
+    /// (including self-loop) endpoint sets.
+    #[test]
+    fn every_message_is_delivered_exactly_once(
+        kind in arb_kind(),
+        messages in arb_messages(6),
+    ) {
+        let mut fabric = build(kind, 6);
+        for &(from, to, bytes) in &messages {
+            fabric.inject(from, to, bytes).expect("endpoints in range");
+        }
+        let deliveries = fabric.run_until_idle(0.5).expect("positive tick");
+        prop_assert_eq!(deliveries.len(), messages.len());
+        let mut ids: Vec<u64> = deliveries.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(&ids, &(0..messages.len() as u64).collect::<Vec<_>>());
+        for d in &deliveries {
+            let (from, to, bytes) = messages[d.id as usize];
+            prop_assert_eq!((d.from, d.to, d.bytes), (from, to, bytes));
+            prop_assert!(d.delivered_us > d.injected_us);
+        }
+        prop_assert_eq!(fabric.stats().injected, messages.len() as u64);
+        prop_assert_eq!(fabric.stats().delivered, messages.len() as u64);
+        prop_assert!(fabric.is_idle());
+    }
+
+    /// Termination waits on in-flight messages: while anything is
+    /// mid-route the fabric reports busy and has delivered nothing it
+    /// hasn't accounted for; `run_until_idle` then drains every pending
+    /// message without injecting more.
+    #[test]
+    fn termination_only_after_in_flight_messages_drain(
+        kind in arb_kind(),
+        messages in arb_messages(5),
+        partial_ticks in 1usize..6,
+    ) {
+        let mut fabric = build(kind, 5);
+        for &(from, to, bytes) in &messages {
+            fabric.inject(from, to, bytes).expect("endpoints in range");
+        }
+        let mut early = 0usize;
+        for _ in 0..partial_ticks {
+            early += fabric.advance(0.25).expect("positive tick").len();
+        }
+        // Invariant mid-run: delivered + in-flight accounts for everything.
+        prop_assert_eq!(early + fabric.in_flight(), messages.len());
+        prop_assert_eq!(fabric.is_idle(), fabric.in_flight() == 0);
+        let late = fabric.run_until_idle(0.25).expect("positive tick").len();
+        prop_assert_eq!(early + late, messages.len());
+        prop_assert!(fabric.is_idle());
+    }
+
+    /// Determinism: identical injections replay to bit-identical delivery
+    /// times and identical per-link statistics.
+    #[test]
+    fn fabric_replays_bit_identically(
+        kind in arb_kind(),
+        messages in arb_messages(6),
+    ) {
+        let run = || {
+            let mut fabric = build(kind, 6);
+            for &(from, to, bytes) in &messages {
+                fabric.inject(from, to, bytes).expect("endpoints in range");
+            }
+            let d: Vec<(u64, u64)> = fabric
+                .run_until_idle(0.5)
+                .expect("positive tick")
+                .iter()
+                .map(|d| (d.id, d.delivered_us.to_bits()))
+                .collect();
+            (d, fabric.stats().clone())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Convergence to the analytic oracle: on single-bottleneck flow sets
+    /// (every flow leaves the node port), the fully-connected fabric and
+    /// the analytic `Switch` agree within tolerance for random sizes and
+    /// fan-outs.
+    #[test]
+    fn fully_connected_converges_to_analytic_switch(
+        gpus in 1usize..8,
+        bytes in (1u64 << 20)..(1 << 26),
+    ) {
+        let link = Link::nvlink2_x6();
+        let switch = Switch::new(gpus + 1, link.clone()).expect("nonzero ports");
+        let flows: Vec<Flow> = (0..gpus)
+            .map(|g| Flow { from: 0, to: g + 1, bytes })
+            .collect();
+        let analytic = switch
+            .concurrent_transfer_us(&flows)
+            .expect("ports in range")
+            .into_iter()
+            .fold(0.0f64, f64::max);
+
+        let mut fabric = build(TopologyKind::FullyConnected, gpus + 1);
+        for g in 0..gpus {
+            fabric.inject(0, g + 1, bytes).expect("endpoints in range");
+        }
+        let tick = analytic / 4096.0;
+        let measured = fabric
+            .run_until_idle(tick)
+            .expect("positive tick")
+            .into_iter()
+            .map(|d| d.delivered_us)
+            .fold(0.0f64, f64::max);
+        let err = (measured - analytic).abs() / analytic;
+        prop_assert!(
+            err < 0.10,
+            "fabric {} vs switch {} ({:.3})",
+            measured,
+            analytic,
+            err
+        );
+    }
+}
+
+/// The fabric-backed serving path keeps the repo-wide worker-count
+/// invariance: an offered-load sweep priced through the measured fabric is
+/// bit-identical at 1, 2 and 4 workers.
+#[test]
+fn fabric_backed_sweep_invariant_across_worker_counts() {
+    let model = SystemModel::paper_defaults();
+    let workload = Workload::by_name(WorkloadName::Facebook);
+    let cfg = SimConfig::new(DesignPoint::Tdimm, 4, BatchPolicy::new(16, 200.0))
+        .with_transfer(TransferBackend::Fabric(TopologyKind::FullyConnected));
+    let rates = [40_000.0, 120_000.0, 360_000.0];
+    let baseline =
+        offered_load_sweep_par(&model, &workload, &cfg, &rates, 120, 17, 1).expect("valid sweep");
+    for workers in [2usize, 4] {
+        let par = offered_load_sweep_par(&model, &workload, &cfg, &rates, 120, 17, workers)
+            .expect("valid sweep");
+        assert_eq!(baseline, par, "workers={workers}");
+    }
+}

@@ -21,7 +21,10 @@
 //! The `cached_gather` scenario exercises the hot-row SRAM tier in the
 //! gather replay: a zero-capacity cache must reproduce the uncached
 //! pipeline byte for byte, while a head-sized cache against a Zipf-0.9
-//! stream must hit and shorten the replay.
+//! stream must hit and shorten the replay. The `faulted_serving` scenario
+//! does the same for the fault-injection layer: an armed fault plan whose
+//! schedule is empty must leave the serving simulation byte-identical,
+//! and a harsh plan must degrade it while conserving every request.
 //!
 //! Besides the tick-vs-event scenarios, the harness runs the **parallel
 //! execution layer** through its paces: a sequential-vs-parallel offered
@@ -45,7 +48,10 @@ use tensordimm_embedding::zipf_lookup_rows;
 use tensordimm_isa::{DimmContext, Instruction};
 use tensordimm_models::Workload;
 use tensordimm_nmp::{NmpConfig, NmpCore, NmpRunStats};
-use tensordimm_serving::{offered_load_sweep, offered_load_sweep_par, BatchPolicy, SimConfig};
+use tensordimm_serving::{
+    offered_load_sweep, offered_load_sweep_par, simulate, ArrivalProcess, BatchPolicy, FaultPlan,
+    NodeOutage, SimConfig,
+};
 use tensordimm_system::{
     BatchPricer, CyclePricer, CyclePricerConfig, DesignPoint, HotRowCacheConfig, SystemModel,
 };
@@ -592,6 +598,102 @@ fn main() {
         eprintln!(
             "{:<24} {:>7} reqs  {:>10} cycles  {:>10}      seq  {:>8.3}s  par   {:>8.3}s  {:>6.1}x",
             "parallel_channels", count, par_cycle, "", seq_wall_s, par_wall_s, speedup
+        );
+    }
+
+    // Fault-injection plumbing in the serving loop: a run whose fault
+    // plan is armed but generates an *empty* schedule (node outage beyond
+    // the trace) must be byte-identical to the plain simulator — the
+    // zero-cost-when-unused witness for the degraded-mode layer — and a
+    // genuinely faulted run must still conserve every request. The armed
+    // run's wall clock is reported as the layer's overhead (informational;
+    // both runs are milliseconds, too noisy to gate).
+    {
+        let model = SystemModel::paper_defaults();
+        let w = Workload::facebook();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 8, BatchPolicy::new(32, 300.0));
+        let requests = if quick { 400 } else { 2_000 };
+        let arrivals = ArrivalProcess::Poisson {
+            rate_qps: 300_000.0,
+        }
+        .sample_arrivals_us(requests, 0xfa11);
+
+        let start = Instant::now();
+        let plain = simulate(&model, &w, &cfg, &arrivals).expect("valid");
+        let plain_wall_s = start.elapsed().as_secs_f64();
+
+        let armed_plan = FaultPlan::none().with_node_outage(NodeOutage {
+            start_us: arrivals.last().copied().unwrap_or(0.0) + 1.0,
+            duration_us: 1.0,
+        });
+        assert!(!armed_plan.is_inert());
+        let start = Instant::now();
+        let armed = simulate(&model, &w, &cfg.with_faults(armed_plan), &arrivals).expect("valid");
+        let armed_wall_s = start.elapsed().as_secs_f64();
+        assert_eq!(
+            plain, armed,
+            "faulted_serving: an armed plan with an empty schedule perturbed the run"
+        );
+        assert_eq!(
+            plain.latency.p99_us.to_bits(),
+            armed.latency.p99_us.to_bits(),
+            "faulted_serving: p99 must be byte-identical, not merely close"
+        );
+
+        // A full-rate 2-DIMM plan plus a mid-trace node outage longer than
+        // the deadline: some requests are structurally guaranteed to miss
+        // the SLA whatever the trace seed draws.
+        let mut harsh = FaultPlan::dimm_faults(0xfa, 1.0);
+        harsh.dimms = 2;
+        harsh.dimm_candidate_gap_us = 250.0;
+        harsh.dimm_repair_us = 2_500.0;
+        let harsh = harsh.with_node_outage(NodeOutage {
+            start_us: 100.0,
+            duration_us: 2_500.0,
+        });
+        let faulted_cfg = cfg
+            .with_faults(harsh)
+            .with_retry(
+                tensordimm_serving::RetryPolicy::none()
+                    .with_deadline(2_000.0)
+                    .with_retries(3, 100.0, 2_000.0),
+            )
+            .with_admission(tensordimm_serving::AdmissionPolicy::bounded(256));
+        let faulted = simulate(&model, &w, &faulted_cfg, &arrivals).expect("valid");
+        assert!(
+            faulted.is_conserved(),
+            "faulted_serving: conservation violated under faults"
+        );
+        assert!(
+            faulted.availability < 1.0,
+            "faulted_serving: a full-rate 2-DIMM plan must cost some availability"
+        );
+
+        let overhead = armed_wall_s / plain_wall_s.max(1e-9);
+        rows.push(format!(
+            concat!(
+                "    {{\"scenario\": \"faulted_serving\", \"requests\": {}, ",
+                "\"plain_wall_s\": {:.6}, \"armed_wall_s\": {:.6}, ",
+                "\"armed_overhead\": {:.2}, \"faulted_availability\": {:.4}, ",
+                "\"faulted_timeouts\": {}, \"faulted_shed\": {}, ",
+                "\"identical_when_empty\": true}}"
+            ),
+            requests,
+            plain_wall_s,
+            armed_wall_s,
+            overhead,
+            faulted.availability,
+            faulted.outcomes.timed_out,
+            faulted.outcomes.shed,
+        ));
+        eprintln!(
+            "{:<24} {:>7} reqs  {:>9.4} avail under faults      plain {:>6.3}s  armed {:>7.3}s  {:>6.2}x",
+            "faulted_serving",
+            requests,
+            faulted.availability,
+            plain_wall_s,
+            armed_wall_s,
+            overhead
         );
     }
 

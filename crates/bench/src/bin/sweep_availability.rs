@@ -1,0 +1,236 @@
+//! Availability under deterministic fault injection.
+//!
+//! The serving question behind degraded-mode operation: *how much of the
+//! offered traffic still completes within the SLA when DIMMs drop out?*
+//! This harness sweeps a fault-rate × offered-load × retry-policy grid
+//! over the request-level simulator and reports, per point, availability
+//! at a fixed SLA, goodput, shed rate and the p99 tail — the table
+//! reproduced in `EXPERIMENTS.md` ("Availability under fault injection").
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p tensordimm_bench --bin sweep_availability [-- --quick]
+//! ```
+//!
+//! `--quick` shrinks the grid so CI can gate on the invariants in
+//! seconds. Gated invariants:
+//!
+//! * **Inert bit-identity** — a run whose fault plan generates an empty
+//!   schedule (rate 0, or a node outage armed beyond the trace) is
+//!   bit-identical to the plain simulator: the whole `SimReport`,
+//!   records included, compares equal.
+//! * **Conservation** — at every grid point,
+//!   `completed + shed + timed_out + in_flight == arrived` (checked via
+//!   `SimReport::is_conserved` and the typed outcome totals), including
+//!   a horizon-cut point that leaves work in flight.
+//! * **Monotone availability** — at fixed design, load and policy,
+//!   availability-at-SLA is non-increasing in the DIMM fault rate. The
+//!   fault crate's thinning construction makes the accepted failure set
+//!   *nest* across rates, so this is a hard invariant, not a tendency.
+//!
+//! The fault plan is deliberately harsh — a 2-DIMM node with ~250 µs
+//! candidate gaps and 2.5 ms repairs — so rate steps move availability by
+//! whole percentage points instead of noise.
+
+use tensordimm_models::Workload;
+use tensordimm_serving::{
+    simulate, AdmissionPolicy, ArrivalProcess, BatchPolicy, FaultPlan, NodeOutage, RetryPolicy,
+    SimConfig, SimReport,
+};
+use tensordimm_system::{DesignPoint, SystemModel};
+
+/// The fixed SLA availability is judged against, µs (also the deadline of
+/// the deadline-bearing policies, so "timed out" and "too late" agree).
+/// A bit above 2× the healthy PMEM p99, so fault-free runs pass and
+/// fault-induced stalls fail.
+const SLA_US: f64 = 2_000.0;
+
+/// Arrival-trace seed (shared across every grid point at a given load, so
+/// rows differ only by faults and policy, never by traffic).
+const TRACE_SEED: u64 = 42;
+
+/// A harsh DIMM-fault plan at `rate`: a 2-DIMM node where each loss costs
+/// half the gather bandwidth, candidates every ~250 µs, 2.5 ms repairs —
+/// failures overlap, and at high rates the node periodically loses both
+/// DIMMs and stalls dispatch entirely until a repair lands.
+fn fault_plan(rate: f64) -> FaultPlan {
+    let mut plan = FaultPlan::dimm_faults(0xfa, rate);
+    plan.dimms = 2;
+    plan.dimm_candidate_gap_us = 250.0;
+    plan.dimm_repair_us = 2_500.0;
+    plan
+}
+
+fn run(model: &SystemModel, w: &Workload, cfg: &SimConfig, arrivals: &[f64]) -> SimReport {
+    let report = simulate(model, w, cfg, arrivals).expect("valid config and trace");
+    assert!(
+        report.is_conserved(),
+        "conservation violated: {} arrived vs outcomes {:?} (+{} not arrived) of {} offered",
+        report.arrived,
+        report.outcomes,
+        report.not_arrived(),
+        report.offered
+    );
+    assert_eq!(
+        report.outcomes.total(),
+        report.arrived,
+        "typed outcomes must account for every arrived request"
+    );
+    report
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let requests = if quick { 400 } else { 3000 };
+    let loads_qps: &[f64] = if quick {
+        &[300_000.0]
+    } else {
+        &[100_000.0, 400_000.0]
+    };
+    let rates: &[f64] = if quick {
+        &[0.0, 0.5, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 1.0]
+    };
+    let designs = [DesignPoint::Tdimm, DesignPoint::Pmem];
+    let policies: &[(&str, RetryPolicy, AdmissionPolicy)] = &[
+        ("open", RetryPolicy::none(), AdmissionPolicy::unbounded()),
+        (
+            "deadline",
+            RetryPolicy::none()
+                .with_deadline(SLA_US)
+                .with_retries(3, 100.0, 2_000.0),
+            AdmissionPolicy::bounded(256),
+        ),
+        (
+            "hedged",
+            RetryPolicy::none()
+                .with_deadline(SLA_US)
+                .with_hedging(1_500.0),
+            AdmissionPolicy::unbounded(),
+        ),
+    ];
+
+    let model = SystemModel::paper_defaults();
+    let w = Workload::facebook();
+    let policy = BatchPolicy::new(32, 300.0);
+
+    println!(
+        "Availability sweep: Facebook, 8 GPUs, batch<=32, {requests} requests, \
+         SLA {SLA_US:.0} µs, 2-DIMM fault plan (gap 250 µs, repair 2500 µs)"
+    );
+
+    // Gate 1: an empty fault schedule is bit-identical to the plain
+    // simulator — both the trivially-inert rate-0 plan and a *non-inert*
+    // plan whose only event (a node outage) is armed beyond the trace, so
+    // the fault machinery runs but schedules nothing.
+    let ident_arrivals = ArrivalProcess::Poisson {
+        rate_qps: loads_qps[0],
+    }
+    .sample_arrivals_us(requests, TRACE_SEED);
+    let beyond_trace = ident_arrivals.last().copied().unwrap_or(0.0) + 1.0;
+    for design in designs {
+        let base = SimConfig::new(design, 8, policy);
+        let plain = run(&model, &w, &base, &ident_arrivals);
+        let zero_rate = run(
+            &model,
+            &w,
+            &base.with_faults(fault_plan(0.0)),
+            &ident_arrivals,
+        );
+        assert_eq!(
+            plain, zero_rate,
+            "{design:?}: rate-0 plan must be bit-identical to the plain run"
+        );
+        let latent = FaultPlan::none().with_node_outage(NodeOutage {
+            start_us: beyond_trace,
+            duration_us: 1.0,
+        });
+        assert!(!latent.is_inert(), "the latent plan must arm the machinery");
+        let armed = run(&model, &w, &base.with_faults(latent), &ident_arrivals);
+        assert_eq!(
+            plain, armed,
+            "{design:?}: an armed plan with an empty schedule must be bit-identical"
+        );
+    }
+    println!("inert bit-identity: plain == rate-0 plan == armed-but-empty plan (both designs)");
+    println!();
+
+    println!(
+        "{:<6} {:>9} {:>10} {:>6} {:>13} {:>12} {:>7} {:>9} {:>10}",
+        "design",
+        "policy",
+        "load qps",
+        "rate",
+        "availability",
+        "goodput qps",
+        "shed%",
+        "timeouts",
+        "p99 µs"
+    );
+    for design in designs {
+        for &(name, retry, admission) in policies {
+            let base = SimConfig::new(design, 8, policy)
+                .with_retry(retry)
+                .with_admission(admission);
+            for &load in loads_qps {
+                let arrivals = ArrivalProcess::Poisson { rate_qps: load }
+                    .sample_arrivals_us(requests, TRACE_SEED);
+                // Gate 3: availability never rises with the fault rate.
+                let mut prev_avail = f64::INFINITY;
+                for &rate in rates {
+                    let cfg = base.with_faults(fault_plan(rate));
+                    let report = run(&model, &w, &cfg, &arrivals);
+                    let avail = report.availability_at(SLA_US);
+                    assert!(
+                        avail <= prev_avail + 1e-9,
+                        "{design:?}/{name}/{load:.0} qps: availability rose from \
+                         {prev_avail:.4} to {avail:.4} at fault rate {rate}"
+                    );
+                    prev_avail = avail;
+                    println!(
+                        "{:<6} {:>9} {:>10.0} {:>6.2} {:>13.4} {:>12.0} {:>7.2} {:>9} {:>10.1}",
+                        format!("{design:?}"),
+                        name,
+                        load,
+                        rate,
+                        avail,
+                        report.goodput_qps,
+                        100.0 * report.shed_rate,
+                        report.outcomes.timed_out,
+                        report.latency.p99_us
+                    );
+                }
+            }
+        }
+    }
+
+    // Gate 2 (horizon leg): cut the worst-case run mid-trace so requests
+    // are left queued / on GPUs / between retries, and check the typed
+    // accounting still balances.
+    let load = *loads_qps.last().expect("nonempty load grid");
+    let arrivals =
+        ArrivalProcess::Poisson { rate_qps: load }.sample_arrivals_us(requests, TRACE_SEED);
+    let horizon = arrivals.last().copied().unwrap_or(0.0) * 0.5;
+    let cfg = SimConfig::new(DesignPoint::Tdimm, 8, policy)
+        .with_faults(fault_plan(1.0))
+        .with_horizon(horizon);
+    let cut = run(&model, &w, &cfg, &arrivals);
+    assert!(
+        cut.not_arrived() > 0,
+        "the horizon must cut some arrivals off"
+    );
+    assert!(
+        cut.outcomes.in_flight_at_horizon > 0,
+        "a mid-trace cut under full-rate faults must leave work in flight"
+    );
+    println!();
+    println!(
+        "horizon cut at {horizon:.0} µs: {} completed, {} in flight, {} not arrived — conserved",
+        cut.completed,
+        cut.outcomes.in_flight_at_horizon,
+        cut.not_arrived()
+    );
+    println!("all invariants held: inert bit-identity, conservation, monotone availability");
+}

@@ -1,0 +1,859 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A production TensorNode loses DIMM ranks, suffers node-level outage
+//! windows, runs *gray* (slow but not dead — RecNMP's rank-level argument
+//! in reverse: losing a rank shrinks the node's aggregated bandwidth
+//! without taking the node down), and occasionally has to re-read rows
+//! after a transient fault. This crate generates those failures as a
+//! **seeded, virtual-time schedule**: a [`FaultPlan`] is a small `Copy`
+//! description of the failure environment, and [`FaultPlan::schedule`] is
+//! a pure function of `(plan, horizon)` — replaying the same plan over the
+//! same horizon yields a bit-identical [`FaultSchedule`], so fault-enabled
+//! simulations stay exactly as reproducible as fault-free ones.
+//!
+//! # Monotone-by-construction fault intensity
+//!
+//! DIMM failures are drawn by **thinning** one master candidate process:
+//! candidate failure epochs (their times, target DIMMs, and acceptance
+//! draws) come from a single RNG stream that does not depend on
+//! [`FaultPlan::dimm_fault_rate`]; a candidate becomes a real failure iff
+//! its acceptance draw falls below the rate. Raising the rate therefore
+//! accepts a **superset** of the failures accepted at any lower rate — the
+//! union of down-windows nests — which is what lets the availability sweep
+//! gate "availability is monotone non-increasing in fault rate" as a hard
+//! invariant instead of a statistical tendency.
+//!
+//! # Consuming a schedule
+//!
+//! The serving simulator folds [`FaultSchedule::transitions`] into a
+//! [`FaultState`] as virtual time advances: the state answers "how many
+//! DIMMs are alive", "is the node reachable", "what latency multiplier is
+//! in force", and "how many rows must the next batch re-read" — the four
+//! quantities degraded-mode pricing needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from validating or generating a fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A plan knob (or the requested horizon) is unusable.
+    InvalidPlan {
+        /// Which knob.
+        parameter: &'static str,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidPlan { parameter } => {
+                write!(f, "fault-plan parameter {parameter} is unusable")
+            }
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+/// A whole-node outage window: no batch can dispatch while it is open
+/// (batches already on a GPU run to completion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeOutage {
+    /// When the node drops off the interconnect, µs.
+    pub start_us: f64,
+    /// How long it stays unreachable, µs.
+    pub duration_us: f64,
+}
+
+/// A gray-failure window: the node keeps serving but every batch priced
+/// inside the window costs `latency_multiplier`× its healthy service time
+/// (capacity is not removed — the degradation is latency, not bandwidth
+/// accounting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrayRank {
+    /// When the slowdown begins, µs.
+    pub start_us: f64,
+    /// How long it lasts, µs.
+    pub duration_us: f64,
+    /// Service-time inflation factor (`>= 1`).
+    pub latency_multiplier: f64,
+}
+
+/// Periodic transient row faults: every `every_us` a bounded number of
+/// rows must be re-read by the next dispatched batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowFaults {
+    /// Cadence of the transient faults, µs.
+    pub every_us: f64,
+    /// Rows to re-read per fault (bounded; see
+    /// [`FaultState::MAX_PENDING_REREAD_ROWS`]).
+    pub rows: u64,
+}
+
+/// A seeded description of the failure environment. `Copy`, so it rides
+/// inside a serving `SimConfig` the way the batching policy does.
+///
+/// The default ([`FaultPlan::none`]) is inert: it produces an empty
+/// schedule at every horizon, and a simulator run with an inert plan is
+/// bit-identical to one with no fault layer at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the candidate-failure stream.
+    pub seed: u64,
+    /// DIMMs in the TensorNode (32 for the paper's Table 1 node; at most
+    /// [`FaultPlan::MAX_DIMMS`]).
+    pub dimms: u64,
+    /// Thinning acceptance probability in `[0, 1]`: the fraction of
+    /// candidate DIMM failures that actually happen. `0` disables DIMM
+    /// faults; `1` accepts every candidate.
+    pub dimm_fault_rate: f64,
+    /// Mean gap between *candidate* failure epochs, µs (the master
+    /// process rate; the realized failure rate is this thinned by
+    /// `dimm_fault_rate`).
+    pub dimm_candidate_gap_us: f64,
+    /// Fixed repair time of a failed DIMM, µs.
+    pub dimm_repair_us: f64,
+    /// Optional whole-node outage window.
+    pub node_outage: Option<NodeOutage>,
+    /// Optional gray-failure window.
+    pub gray: Option<GrayRank>,
+    /// Optional periodic transient row faults.
+    pub row_faults: Option<RowFaults>,
+}
+
+impl FaultPlan {
+    /// Widest supported node: DIMM liveness is tracked in a 128-bit mask.
+    pub const MAX_DIMMS: u64 = 128;
+
+    /// No faults at all: the schedule is empty at every horizon.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            dimms: 32,
+            dimm_fault_rate: 0.0,
+            dimm_candidate_gap_us: 2_000.0,
+            dimm_repair_us: 5_000.0,
+            node_outage: None,
+            gray: None,
+            row_faults: None,
+        }
+    }
+
+    /// DIMM faults at `rate ∈ [0, 1]` under `seed`, with the default
+    /// candidate cadence and repair time.
+    pub fn dimm_faults(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            dimm_fault_rate: rate,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Add a whole-node outage window.
+    pub fn with_node_outage(mut self, outage: NodeOutage) -> Self {
+        self.node_outage = Some(outage);
+        self
+    }
+
+    /// Add a gray-failure window.
+    pub fn with_gray(mut self, gray: GrayRank) -> Self {
+        self.gray = Some(gray);
+        self
+    }
+
+    /// Add periodic transient row faults.
+    pub fn with_row_faults(mut self, row_faults: RowFaults) -> Self {
+        self.row_faults = Some(row_faults);
+        self
+    }
+
+    /// Whether this plan produces an empty schedule at every horizon.
+    pub fn is_inert(&self) -> bool {
+        self.dimm_fault_rate <= 0.0
+            && self.node_outage.is_none()
+            && self.gray.is_none()
+            && self.row_faults.is_none()
+    }
+
+    /// Check the knobs are usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidPlan`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        let bad = |parameter| Err(FaultError::InvalidPlan { parameter });
+        if self.dimms == 0 || self.dimms > Self::MAX_DIMMS {
+            return bad("dimms");
+        }
+        if !self.dimm_fault_rate.is_finite() || !(0.0..=1.0).contains(&self.dimm_fault_rate) {
+            return bad("dimm_fault_rate");
+        }
+        if !self.dimm_candidate_gap_us.is_finite() || self.dimm_candidate_gap_us <= 0.0 {
+            return bad("dimm_candidate_gap_us");
+        }
+        if !self.dimm_repair_us.is_finite() || self.dimm_repair_us <= 0.0 {
+            return bad("dimm_repair_us");
+        }
+        if let Some(o) = self.node_outage {
+            if !o.start_us.is_finite() || o.start_us < 0.0 {
+                return bad("node_outage.start_us");
+            }
+            if !o.duration_us.is_finite() || o.duration_us <= 0.0 {
+                return bad("node_outage.duration_us");
+            }
+        }
+        if let Some(g) = self.gray {
+            if !g.start_us.is_finite() || g.start_us < 0.0 {
+                return bad("gray.start_us");
+            }
+            if !g.duration_us.is_finite() || g.duration_us <= 0.0 {
+                return bad("gray.duration_us");
+            }
+            if !g.latency_multiplier.is_finite() || g.latency_multiplier < 1.0 {
+                return bad("gray.latency_multiplier");
+            }
+        }
+        if let Some(r) = self.row_faults {
+            if !r.every_us.is_finite() || r.every_us <= 0.0 {
+                return bad("row_faults.every_us");
+            }
+            if r.rows == 0 {
+                return bad("row_faults.rows");
+            }
+        }
+        Ok(())
+    }
+
+    /// Generate the failure schedule over `[0, horizon_us]` — a pure
+    /// function of `(self, horizon_us)`. Failures *initiate* within the
+    /// horizon; their restorations may land after it (a DIMM that fails
+    /// near the end is still down at the cut).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidPlan`] for unusable knobs or a
+    /// non-finite/negative horizon.
+    pub fn schedule(&self, horizon_us: f64) -> Result<FaultSchedule, FaultError> {
+        self.validate()?;
+        if !horizon_us.is_finite() || horizon_us < 0.0 {
+            return Err(FaultError::InvalidPlan {
+                parameter: "horizon_us",
+            });
+        }
+        let mut events = Vec::new();
+
+        if self.dimm_fault_rate > 0.0 {
+            // Thinning: every candidate consumes the identical draws
+            // regardless of the rate, so the accepted set nests across
+            // rates (see the module docs).
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0xfa_17);
+            let mut windows: Vec<(u64, f64, f64)> = Vec::new();
+            let mut t = 0.0f64;
+            loop {
+                let gap = -self.dimm_candidate_gap_us * (1.0 - rng.gen::<f64>()).ln();
+                t += gap;
+                if t > horizon_us {
+                    break;
+                }
+                let dimm = rng.gen_range(0..self.dimms);
+                let accept = rng.gen::<f64>() < self.dimm_fault_rate;
+                if accept {
+                    windows.push((dimm, t, t + self.dimm_repair_us));
+                }
+            }
+            // Merge overlapping windows per DIMM: a DIMM that fails again
+            // while already down extends its outage instead of emitting a
+            // nested Down/Restored pair.
+            windows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            let mut merged: Vec<(u64, f64, f64)> = Vec::new();
+            for (dimm, start, end) in windows {
+                match merged.last_mut() {
+                    Some((d, _, e)) if *d == dimm && start <= *e => *e = e.max(end),
+                    _ => merged.push((dimm, start, end)),
+                }
+            }
+            for (dimm, start, end) in merged {
+                events.push(FaultEvent::DimmDown { at_us: start, dimm });
+                events.push(FaultEvent::DimmRestored { at_us: end, dimm });
+            }
+        }
+
+        if let Some(o) = self.node_outage {
+            if o.start_us <= horizon_us {
+                events.push(FaultEvent::NodeOutage {
+                    start_us: o.start_us,
+                    duration_us: o.duration_us,
+                });
+            }
+        }
+        if let Some(g) = self.gray {
+            if g.start_us <= horizon_us {
+                events.push(FaultEvent::GrayRank {
+                    start_us: g.start_us,
+                    duration_us: g.duration_us,
+                    latency_multiplier: g.latency_multiplier,
+                });
+            }
+        }
+        if let Some(r) = self.row_faults {
+            let mut t = r.every_us;
+            while t <= horizon_us {
+                events.push(FaultEvent::RowFault {
+                    at_us: t,
+                    rows: r.rows,
+                });
+                t += r.every_us;
+            }
+        }
+
+        // Stable sort on the anchor time: same-instant events keep their
+        // deterministic emission order.
+        events.sort_by(|a, b| a.at_us().total_cmp(&b.at_us()));
+        Ok(FaultSchedule { events })
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// A typed failure event. Window events (`NodeOutage`, `GrayRank`) carry
+/// their full extent; point events carry their instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A DIMM rank drops out: the node keeps serving at reduced
+    /// aggregated bandwidth.
+    DimmDown {
+        /// When, µs.
+        at_us: f64,
+        /// Which DIMM.
+        dimm: u64,
+    },
+    /// A failed DIMM comes back.
+    DimmRestored {
+        /// When, µs.
+        at_us: f64,
+        /// Which DIMM.
+        dimm: u64,
+    },
+    /// The whole node is unreachable for a window.
+    NodeOutage {
+        /// When the outage begins, µs.
+        start_us: f64,
+        /// How long it lasts, µs.
+        duration_us: f64,
+    },
+    /// A gray-failure window: service times inflate, capacity stays.
+    GrayRank {
+        /// When the slowdown begins, µs.
+        start_us: f64,
+        /// How long it lasts, µs.
+        duration_us: f64,
+        /// Service-time inflation factor.
+        latency_multiplier: f64,
+    },
+    /// A transient fault forces a bounded re-read.
+    RowFault {
+        /// When, µs.
+        at_us: f64,
+        /// Rows the next dispatched batch must re-read.
+        rows: u64,
+    },
+}
+
+impl FaultEvent {
+    /// The event's anchor instant (window events anchor at their start).
+    pub fn at_us(&self) -> f64 {
+        match *self {
+            FaultEvent::DimmDown { at_us, .. }
+            | FaultEvent::DimmRestored { at_us, .. }
+            | FaultEvent::RowFault { at_us, .. } => at_us,
+            FaultEvent::NodeOutage { start_us, .. } | FaultEvent::GrayRank { start_us, .. } => {
+                start_us
+            }
+        }
+    }
+}
+
+/// One instantaneous change to the fault state — what the serving event
+/// loop schedules as a `FaultTransition` event. Window events expand to a
+/// start/end pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// When the change takes effect, µs.
+    pub at_us: f64,
+    /// What changes.
+    pub change: StateChange,
+}
+
+/// The state-changing half of a [`Transition`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StateChange {
+    /// DIMM goes down.
+    DimmDown(u64),
+    /// DIMM comes back.
+    DimmRestored(u64),
+    /// The node becomes unreachable.
+    NodeDown,
+    /// The node becomes reachable again.
+    NodeUp,
+    /// Gray window opens with this latency multiplier.
+    GrayStart(f64),
+    /// Gray window closes.
+    GrayEnd,
+    /// This many rows must be re-read by the next dispatched batch.
+    RowFault(u64),
+}
+
+/// A generated failure schedule: typed events sorted by anchor time.
+/// Bit-identical across replays of the same `(plan, horizon)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no events — what an inert plan generates.
+    pub fn empty() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// The typed events, sorted by [`FaultEvent::at_us`].
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Expand window events into their start/end [`Transition`]s, sorted
+    /// by time (stable: same-instant transitions keep schedule order).
+    pub fn transitions(&self) -> Vec<Transition> {
+        let mut out = Vec::with_capacity(self.events.len() * 2);
+        for e in &self.events {
+            match *e {
+                FaultEvent::DimmDown { at_us, dimm } => out.push(Transition {
+                    at_us,
+                    change: StateChange::DimmDown(dimm),
+                }),
+                FaultEvent::DimmRestored { at_us, dimm } => out.push(Transition {
+                    at_us,
+                    change: StateChange::DimmRestored(dimm),
+                }),
+                FaultEvent::NodeOutage {
+                    start_us,
+                    duration_us,
+                } => {
+                    out.push(Transition {
+                        at_us: start_us,
+                        change: StateChange::NodeDown,
+                    });
+                    out.push(Transition {
+                        at_us: start_us + duration_us,
+                        change: StateChange::NodeUp,
+                    });
+                }
+                FaultEvent::GrayRank {
+                    start_us,
+                    duration_us,
+                    latency_multiplier,
+                } => {
+                    out.push(Transition {
+                        at_us: start_us,
+                        change: StateChange::GrayStart(latency_multiplier),
+                    });
+                    out.push(Transition {
+                        at_us: start_us + duration_us,
+                        change: StateChange::GrayEnd,
+                    });
+                }
+                FaultEvent::RowFault { at_us, rows } => out.push(Transition {
+                    at_us,
+                    change: StateChange::RowFault(rows),
+                }),
+            }
+        }
+        out.sort_by(|a, b| a.at_us.total_cmp(&b.at_us));
+        out
+    }
+
+    /// Total DIMM-down time summed over DIMMs, clipped to `[0,
+    /// horizon_us]` — the scalar the nesting/monotonicity tests compare
+    /// across fault rates.
+    pub fn dimm_downtime_us(&self, horizon_us: f64) -> f64 {
+        let mut open: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        let mut total = 0.0;
+        for e in &self.events {
+            match *e {
+                FaultEvent::DimmDown { at_us, dimm } => {
+                    open.insert(dimm, at_us);
+                }
+                FaultEvent::DimmRestored { at_us, dimm } => {
+                    if let Some(start) = open.remove(&dimm) {
+                        total += at_us.min(horizon_us) - start.min(horizon_us);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (_, start) in open {
+            total += horizon_us - start.min(horizon_us);
+        }
+        total
+    }
+}
+
+/// The folded fault state at one instant of virtual time: what
+/// degraded-mode pricing needs to know.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultState {
+    dimms_total: u64,
+    /// Bit `d` set ⇔ DIMM `d` is down.
+    down_mask: u128,
+    node_out: bool,
+    gray_multiplier: f64,
+    pending_reread_rows: u64,
+}
+
+impl FaultState {
+    /// Cap on accumulated re-read rows: transient faults force a
+    /// *bounded* re-read, they cannot queue unbounded repair work.
+    pub const MAX_PENDING_REREAD_ROWS: u64 = 1 << 20;
+
+    /// Everything healthy on a `dimms_total`-DIMM node.
+    pub fn healthy(dimms_total: u64) -> Self {
+        FaultState {
+            dimms_total,
+            down_mask: 0,
+            node_out: false,
+            gray_multiplier: 1.0,
+            pending_reread_rows: 0,
+        }
+    }
+
+    /// Apply one transition.
+    pub fn apply(&mut self, change: StateChange) {
+        match change {
+            StateChange::DimmDown(d) => {
+                if d < FaultPlan::MAX_DIMMS {
+                    self.down_mask |= 1u128 << d;
+                }
+            }
+            StateChange::DimmRestored(d) => {
+                if d < FaultPlan::MAX_DIMMS {
+                    self.down_mask &= !(1u128 << d);
+                }
+            }
+            StateChange::NodeDown => self.node_out = true,
+            StateChange::NodeUp => self.node_out = false,
+            StateChange::GrayStart(m) => self.gray_multiplier = m,
+            StateChange::GrayEnd => self.gray_multiplier = 1.0,
+            StateChange::RowFault(rows) => {
+                self.pending_reread_rows = self
+                    .pending_reread_rows
+                    .saturating_add(rows)
+                    .min(Self::MAX_PENDING_REREAD_ROWS);
+            }
+        }
+    }
+
+    /// DIMMs configured.
+    pub fn dimms_total(&self) -> u64 {
+        self.dimms_total
+    }
+
+    /// DIMMs currently serving.
+    pub fn dimms_alive(&self) -> u64 {
+        self.dimms_total - (self.down_mask.count_ones() as u64).min(self.dimms_total)
+    }
+
+    /// Whether the node is reachable.
+    pub fn node_reachable(&self) -> bool {
+        !self.node_out
+    }
+
+    /// Whether a new batch can dispatch right now (node reachable and at
+    /// least one DIMM alive).
+    pub fn can_dispatch(&self) -> bool {
+        !self.node_out && self.dimms_alive() > 0
+    }
+
+    /// The gray latency multiplier in force (`1.0` when healthy).
+    pub fn gray_multiplier(&self) -> f64 {
+        self.gray_multiplier
+    }
+
+    /// Rows awaiting re-read by the next dispatched batch.
+    pub fn pending_reread_rows(&self) -> u64 {
+        self.pending_reread_rows
+    }
+
+    /// Consume the pending re-read rows (charged to the batch now being
+    /// dispatched).
+    pub fn take_reread_rows(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_reread_rows)
+    }
+
+    /// Whether the state is indistinguishable from healthy.
+    pub fn is_inert(&self) -> bool {
+        self.down_mask == 0
+            && !self.node_out
+            && self.gray_multiplier == 1.0
+            && self.pending_reread_rows == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_schedules_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_inert());
+        let s = plan.schedule(1e6).expect("valid");
+        assert!(s.is_empty());
+        assert_eq!(s, FaultSchedule::empty());
+        assert!(s.transitions().is_empty());
+        assert_eq!(s.dimm_downtime_us(1e6), 0.0);
+    }
+
+    #[test]
+    fn schedule_is_pure_per_seed_and_horizon() {
+        let plan = FaultPlan::dimm_faults(42, 0.7);
+        let a = plan.schedule(500_000.0).expect("valid");
+        let b = plan.schedule(500_000.0).expect("valid");
+        assert_eq!(a, b, "same (plan, horizon) must replay bit-identically");
+        assert!(!a.is_empty(), "rate 0.7 over 250 candidates must accept");
+        let other_seed = FaultPlan::dimm_faults(43, 0.7)
+            .schedule(500_000.0)
+            .expect("valid");
+        assert_ne!(a, other_seed);
+    }
+
+    #[test]
+    fn events_sorted_and_windows_paired() {
+        let plan = FaultPlan::dimm_faults(7, 0.5);
+        let s = plan.schedule(200_000.0).expect("valid");
+        let times: Vec<f64> = s.events().iter().map(|e| e.at_us()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted by time");
+        // Every DimmDown has a matching later DimmRestored.
+        let mut open = std::collections::HashSet::new();
+        for e in s.events() {
+            match *e {
+                FaultEvent::DimmDown { dimm, .. } => {
+                    assert!(open.insert(dimm), "no nested down for one DIMM");
+                }
+                FaultEvent::DimmRestored { dimm, .. } => {
+                    assert!(open.remove(&dimm), "restore pairs with a down");
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "every failure eventually repairs");
+    }
+
+    /// The thinning construction: raising the rate only ever adds
+    /// downtime, because the accepted candidate set is a superset.
+    #[test]
+    fn downtime_is_monotone_in_fault_rate() {
+        let horizon = 400_000.0;
+        for seed in [1u64, 9, 77] {
+            let mut last = 0.0f64;
+            for rate in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
+                let s = FaultPlan::dimm_faults(seed, rate)
+                    .schedule(horizon)
+                    .expect("valid");
+                let down = s.dimm_downtime_us(horizon);
+                assert!(
+                    down >= last - 1e-9,
+                    "seed {seed}: downtime fell from {last} to {down} at rate {rate}"
+                );
+                last = down;
+            }
+            assert!(last > 0.0, "rate 1.0 must accept every candidate");
+        }
+    }
+
+    #[test]
+    fn restorations_may_trail_the_horizon() {
+        let mut plan = FaultPlan::dimm_faults(3, 1.0);
+        plan.dimm_repair_us = 50_000.0;
+        let horizon = 10_000.0;
+        let s = plan.schedule(horizon).expect("valid");
+        assert!(!s.is_empty());
+        let last = s.events().last().expect("nonempty").at_us();
+        assert!(last > horizon, "repair completes after the cut");
+        // Downtime clipping never counts past the horizon.
+        assert!(s.dimm_downtime_us(horizon) <= horizon * plan.dimms as f64);
+    }
+
+    #[test]
+    fn window_events_expand_to_paired_transitions() {
+        let plan = FaultPlan::none()
+            .with_node_outage(NodeOutage {
+                start_us: 100.0,
+                duration_us: 50.0,
+            })
+            .with_gray(GrayRank {
+                start_us: 300.0,
+                duration_us: 200.0,
+                latency_multiplier: 2.5,
+            })
+            .with_row_faults(RowFaults {
+                every_us: 150.0,
+                rows: 64,
+            });
+        assert!(!plan.is_inert());
+        let s = plan.schedule(600.0).expect("valid");
+        let t = s.transitions();
+        assert!(t.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert!(t.contains(&Transition {
+            at_us: 100.0,
+            change: StateChange::NodeDown
+        }));
+        assert!(t.contains(&Transition {
+            at_us: 150.0,
+            change: StateChange::NodeUp
+        }));
+        assert!(t.contains(&Transition {
+            at_us: 300.0,
+            change: StateChange::GrayStart(2.5)
+        }));
+        assert!(t.contains(&Transition {
+            at_us: 500.0,
+            change: StateChange::GrayEnd
+        }));
+        let row_faults = t
+            .iter()
+            .filter(|tr| matches!(tr.change, StateChange::RowFault(64)))
+            .count();
+        assert_eq!(row_faults, 4, "150, 300, 450, 600");
+    }
+
+    #[test]
+    fn state_folds_transitions() {
+        let mut st = FaultState::healthy(32);
+        assert!(st.is_inert() && st.can_dispatch());
+        assert_eq!(st.dimms_alive(), 32);
+        st.apply(StateChange::DimmDown(3));
+        st.apply(StateChange::DimmDown(17));
+        assert_eq!(st.dimms_alive(), 30);
+        assert!(!st.is_inert() && st.can_dispatch());
+        st.apply(StateChange::NodeDown);
+        assert!(!st.can_dispatch());
+        st.apply(StateChange::NodeUp);
+        st.apply(StateChange::DimmRestored(3));
+        st.apply(StateChange::DimmRestored(17));
+        st.apply(StateChange::GrayStart(3.0));
+        assert_eq!(st.gray_multiplier(), 3.0);
+        st.apply(StateChange::GrayEnd);
+        st.apply(StateChange::RowFault(100));
+        assert_eq!(st.pending_reread_rows(), 100);
+        assert_eq!(st.take_reread_rows(), 100);
+        assert_eq!(st.pending_reread_rows(), 0);
+        assert!(st.is_inert());
+    }
+
+    #[test]
+    fn reread_rows_are_bounded() {
+        let mut st = FaultState::healthy(8);
+        for _ in 0..10_000 {
+            st.apply(StateChange::RowFault(u64::MAX / 2));
+        }
+        assert_eq!(
+            st.pending_reread_rows(),
+            FaultState::MAX_PENDING_REREAD_ROWS
+        );
+    }
+
+    #[test]
+    fn all_dimms_down_blocks_dispatch() {
+        let mut st = FaultState::healthy(2);
+        st.apply(StateChange::DimmDown(0));
+        st.apply(StateChange::DimmDown(1));
+        assert_eq!(st.dimms_alive(), 0);
+        assert!(!st.can_dispatch());
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let reject = |plan: FaultPlan, parameter: &'static str| {
+            assert_eq!(
+                plan.schedule(1000.0),
+                Err(FaultError::InvalidPlan { parameter }),
+                "{parameter}"
+            );
+        };
+        let base = FaultPlan::none();
+        reject(FaultPlan { dimms: 0, ..base }, "dimms");
+        reject(FaultPlan { dimms: 129, ..base }, "dimms");
+        reject(
+            FaultPlan {
+                dimm_fault_rate: 1.5,
+                ..base
+            },
+            "dimm_fault_rate",
+        );
+        reject(
+            FaultPlan {
+                dimm_fault_rate: f64::NAN,
+                ..base
+            },
+            "dimm_fault_rate",
+        );
+        reject(
+            FaultPlan {
+                dimm_candidate_gap_us: 0.0,
+                ..base
+            },
+            "dimm_candidate_gap_us",
+        );
+        reject(
+            FaultPlan {
+                dimm_repair_us: -1.0,
+                ..base
+            },
+            "dimm_repair_us",
+        );
+        reject(
+            base.with_node_outage(NodeOutage {
+                start_us: -1.0,
+                duration_us: 10.0,
+            }),
+            "node_outage.start_us",
+        );
+        reject(
+            base.with_gray(GrayRank {
+                start_us: 0.0,
+                duration_us: 10.0,
+                latency_multiplier: 0.5,
+            }),
+            "gray.latency_multiplier",
+        );
+        reject(
+            base.with_row_faults(RowFaults {
+                every_us: 0.0,
+                rows: 1,
+            }),
+            "row_faults.every_us",
+        );
+        assert_eq!(
+            base.schedule(f64::INFINITY),
+            Err(FaultError::InvalidPlan {
+                parameter: "horizon_us"
+            })
+        );
+        assert!(!FaultError::InvalidPlan { parameter: "dimms" }
+            .to_string()
+            .is_empty());
+    }
+}

@@ -61,9 +61,17 @@ impl ArrivalProcess {
 
     /// Draw `n` arrival instants in µs, sorted ascending starting near 0.
     ///
+    /// `n == 0` yields an empty trace for either process. An empty trace
+    /// is a valid simulator input: `simulate`
+    /// reports zero arrivals, vacuous `1.0` availability and an all-zero
+    /// latency summary (see the zero-request boundary tests here and in
+    /// `sim.rs`).
+    ///
     /// # Panics
     ///
-    /// Panics if the configured rate is not strictly positive.
+    /// Panics if the configured rate is not strictly positive — the rate
+    /// is validated before the count, so `n == 0` does not mask a bad
+    /// configuration.
     pub fn sample_arrivals_us(&self, n: usize, seed: u64) -> Vec<f64> {
         let rate = self.rate_qps();
         assert!(rate > 0.0, "arrival rate must be positive, got {rate}");
@@ -162,6 +170,28 @@ mod tests {
             zero_gaps(&bursty),
             zero_gaps(&poisson)
         );
+    }
+
+    /// Pins the documented `n == 0` boundary: an empty trace from either
+    /// process.
+    #[test]
+    fn zero_requests_yield_an_empty_trace() {
+        let processes = [
+            ArrivalProcess::Poisson { rate_qps: 10_000.0 },
+            ArrivalProcess::Bursty {
+                rate_qps: 10_000.0,
+                mean_burst: 4.0,
+            },
+        ];
+        for p in processes {
+            assert!(p.sample_arrivals_us(0, 9).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_rejected_even_with_zero_requests() {
+        ArrivalProcess::Poisson { rate_qps: 0.0 }.sample_arrivals_us(0, 1);
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub struct DynamicBatcher {
 
 /// Slack for comparing a timer event's firing time against the deadline it
 /// was scheduled for (`arrival + max_wait` summed in a different order).
-const TIMER_SLACK_US: f64 = 1e-6;
+pub(crate) const TIMER_SLACK_US: f64 = 1e-6;
 
 impl DynamicBatcher {
     /// An empty batcher under `policy`.
@@ -120,6 +120,13 @@ impl DynamicBatcher {
             Some(deadline) => now_us + TIMER_SLACK_US >= deadline,
             None => false,
         }
+    }
+
+    /// Remove a still-queued request by id (deadline-expired shedding).
+    /// Returns the removed entry, or `None` when `id` is not waiting.
+    pub fn remove(&mut self, id: usize) -> Option<QueuedRequest> {
+        let pos = self.queue.iter().position(|r| r.id == id)?;
+        self.queue.remove(pos)
     }
 
     /// Seal and return the next batch if one is ready at `now`, oldest
@@ -190,6 +197,22 @@ mod tests {
         b.push(req(0, 42.0));
         assert!(b.ready(42.0));
         assert_eq!(b.take_ready_batch(42.0).expect("ready").len(), 1);
+    }
+
+    #[test]
+    fn remove_drops_only_the_named_request() {
+        let mut b = DynamicBatcher::new(BatchPolicy::new(4, 100.0));
+        for i in 0..3 {
+            b.push(req(i, 10.0 * i as f64));
+        }
+        assert_eq!(b.remove(1), Some(req(1, 10.0)));
+        assert_eq!(b.remove(1), None, "already gone");
+        assert_eq!(b.remove(99), None, "never queued");
+        assert_eq!(b.depth(), 2);
+        // Removing the front request advances the flush deadline.
+        assert_eq!(b.next_deadline_us(), Some(100.0));
+        assert_eq!(b.remove(0), Some(req(0, 0.0)));
+        assert_eq!(b.next_deadline_us(), Some(120.0));
     }
 
     #[test]

@@ -25,7 +25,16 @@
 //!   ([`offered_load_sweep`], [`sustainable_qps`]), with the independent
 //!   load points optionally fanned across a deterministic worker pool
 //!   ([`offered_load_sweep_par`] — bit-identical to the sequential path
-//!   at any worker count).
+//!   at any worker count),
+//! * **faults and degraded-mode serving** — a seeded
+//!   [`FaultPlan`] (`tensordimm_faults`) injects DIMM rank losses, node
+//!   outages, gray ranks and transient row faults into the event loop;
+//!   [`RetryPolicy`] (deadlines, capped-backoff re-admission, hedged
+//!   re-dispatch) and [`AdmissionPolicy`] (bounded queue, deadline-aware
+//!   shedding) govern the response, and every request is accounted to a
+//!   typed [`RequestOutcome`] with goodput / shed-rate / availability in
+//!   the report. Inert plans and policies are bit-identical to fault-free
+//!   runs.
 //!
 //! The headline experiment (`examples/serving_sim.rs`,
 //! `sweep_qps_sla` in `tensordimm_bench`): at request granularity, TDIMM's
@@ -40,16 +49,19 @@
 pub mod arrivals;
 pub mod batcher;
 pub mod metrics;
+pub mod policy;
 pub mod request;
 pub mod sim;
 pub mod sweep;
 
 pub use arrivals::{hot_row_share, zipf_lookup_rows, ArrivalProcess};
 pub use batcher::{BatchPolicy, DynamicBatcher, QueuedRequest};
-pub use metrics::{percentile, BatchStats, LatencySummary, QueueStats};
-pub use request::{CompletionRecord, RequestRecord, RequestTrace};
+pub use metrics::{percentile, BatchStats, LatencySummary, OutcomeCounts, QueueStats};
+pub use policy::{AdmissionPolicy, RetryPolicy};
+pub use request::{CompletionRecord, RequestOutcome, RequestRecord, RequestTrace};
 pub use sim::{simulate, simulate_with_pricer, SimConfig, SimError, SimReport};
 pub use sweep::{
     offered_load_sweep, offered_load_sweep_par, sustainable_qps, sweep_arrivals_us, LoadPoint,
 };
+pub use tensordimm_faults::{FaultPlan, FaultSchedule, GrayRank, NodeOutage, RowFaults};
 pub use tensordimm_system::{TopologyKind, TransferBackend};

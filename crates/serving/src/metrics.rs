@@ -42,6 +42,13 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarize a set of end-to-end latencies (µs, any order).
+    ///
+    /// An **empty** sample returns exactly [`LatencySummary::default()`]:
+    /// `count == 0` and every statistic `0.0` (not NaN — a `0/0` mean
+    /// would poison downstream comparisons and serialization). This is a
+    /// contract: zero-completion simulations (empty traces, horizons that
+    /// cut everything off, full-outage fault plans) lean on it, and it is
+    /// pinned by `empty_sample_is_the_default_summary`.
     pub fn from_latencies(mut latencies: Vec<f64>) -> Self {
         if latencies.is_empty() {
             return LatencySummary::default();
@@ -57,6 +64,34 @@ impl LatencySummary {
             p99_us: percentile(&latencies, 99.0),
             max_us: latencies[count - 1],
         }
+    }
+}
+
+/// Where every arrived request ended up, by
+/// [`RequestOutcome`](crate::request::RequestOutcome).
+///
+/// Produced by the simulator; the conservation law
+/// `completed + shed + timed_out + in_flight_at_horizon == arrived` holds
+/// at every grid point (enforced by
+/// [`SimReport::is_conserved`](crate::sim::SimReport::is_conserved) and the
+/// `sweep_availability` gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeCounts {
+    /// Requests whose batch finished on a GPU.
+    pub completed: usize,
+    /// Requests rejected by admission control with no retries left.
+    pub shed: usize,
+    /// Requests whose deadline expired while still waiting.
+    pub timed_out: usize,
+    /// Requests queued, between retries, or on a GPU when the clock
+    /// stopped.
+    pub in_flight_at_horizon: usize,
+}
+
+impl OutcomeCounts {
+    /// Total requests accounted for (should equal `arrived`).
+    pub fn total(&self) -> usize {
+        self.completed + self.shed + self.timed_out + self.in_flight_at_horizon
     }
 }
 
@@ -89,12 +124,16 @@ impl QueueDepthTracker {
         self.max_depth = self.max_depth.max(depth);
     }
 
-    /// Finish the accumulation over `[0, end_us]`.
-    pub fn finish(mut self, end_us: f64, depth: usize) -> QueueStats {
-        self.advance(end_us, depth);
+    /// Finish the accumulation: integrate out to `advance_to_us`, then
+    /// normalize the mean over `[0, denom_us]`. The two differ when the
+    /// event loop processed trailing no-op timers past the reported end
+    /// of the run (the queue is empty over that stretch, so the integral
+    /// is unaffected — only the denominator matters).
+    pub fn finish(mut self, advance_to_us: f64, denom_us: f64, depth: usize) -> QueueStats {
+        self.advance(advance_to_us, depth);
         QueueStats {
-            mean_depth: if end_us > 0.0 {
-                self.integral / end_us
+            mean_depth: if denom_us > 0.0 {
+                self.integral / denom_us
             } else {
                 0.0
             },
@@ -209,15 +248,49 @@ mod tests {
         assert!(s.mean_us > 0.0);
     }
 
+    /// Pins the documented empty-sample contract: all-zero, never NaN.
+    #[test]
+    fn empty_sample_is_the_default_summary() {
+        let s = LatencySummary::from_latencies(Vec::new());
+        assert_eq!(s, LatencySummary::default());
+        assert_eq!(s.count, 0);
+        for stat in [s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.max_us] {
+            assert_eq!(stat, 0.0, "empty summary must be all-zero, not NaN");
+        }
+    }
+
+    #[test]
+    fn outcome_counts_total() {
+        let c = OutcomeCounts {
+            completed: 5,
+            shed: 2,
+            timed_out: 1,
+            in_flight_at_horizon: 3,
+        };
+        assert_eq!(c.total(), 11);
+        assert_eq!(OutcomeCounts::default().total(), 0);
+    }
+
     #[test]
     fn queue_tracker_time_weighting() {
         let mut t = QueueDepthTracker::default();
         t.advance(10.0, 0); // depth 0 over [0, 10)
         t.advance(20.0, 4); // depth 4 over [10, 20)
-        let stats = t.finish(40.0, 1); // depth 1 over [20, 40)
-                                       // (0*10 + 4*10 + 1*20) / 40 = 1.5
+        let stats = t.finish(40.0, 40.0, 1); // depth 1 over [20, 40)
+                                             // (0*10 + 4*10 + 1*20) / 40 = 1.5
         assert!((stats.mean_depth - 1.5).abs() < 1e-12);
         assert_eq!(stats.max_depth, 4);
+    }
+
+    /// Trailing no-op events integrate at depth 0 past the reported end:
+    /// only the denominator is pinned to the run length.
+    #[test]
+    fn queue_tracker_trailing_no_op_region() {
+        let mut t = QueueDepthTracker::default();
+        t.advance(10.0, 2); // depth 2 over [0, 10)
+        let stats = t.finish(50.0, 10.0, 0); // empty over the no-op tail
+        assert!((stats.mean_depth - 2.0).abs() < 1e-12);
+        assert_eq!(stats.max_depth, 2);
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Degraded-mode serving policies: retry, hedging and admission control.
+//!
+//! Under fault injection ([`tensordimm_faults::FaultPlan`]) the simulator
+//! can time out, shed, re-admit and hedge requests instead of letting every
+//! arrival queue forever. Two knobs govern that behavior:
+//!
+//! * [`RetryPolicy`] — a per-request deadline, capped exponential backoff
+//!   with deterministic jitter for re-admission after a queue-full
+//!   rejection, and optional hedged re-dispatch of a slow in-flight batch
+//!   to a second GPU,
+//! * [`AdmissionPolicy`] — a bound on the batcher's queue depth plus
+//!   deadline-aware shedding at admission time.
+//!
+//! Both default to *inert* settings ([`RetryPolicy::none`],
+//! [`AdmissionPolicy::unbounded`]) under which the simulator is
+//! bit-identical to a run without them — the same contract the empty
+//! [`tensordimm_faults::FaultSchedule`] honors.
+//!
+//! Jitter is deterministic: [`RetryPolicy::backoff_us`] is a pure function
+//! of `(jitter_seed, request id, attempt)`, so replays — sequential or
+//! fanned across a worker pool — are bit-identical.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sim::SimError;
+
+/// Golden-ratio multiplier for mixing request ids into the jitter stream.
+const JITTER_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Exponent cap before the backoff doubling saturates (the µs values
+/// saturate at `backoff_cap_us` far earlier for any sane configuration).
+const MAX_BACKOFF_DOUBLINGS: u32 = 62;
+
+/// Per-request deadline, retry-with-backoff and hedging policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// End-to-end deadline per request, µs from its *original* arrival.
+    /// A queued request whose deadline passes is removed and counted
+    /// [`TimedOut`](crate::request::RequestOutcome::TimedOut); an in-flight
+    /// request is left to finish (lateness is judged by availability, not
+    /// by killing work on a GPU). `f64::INFINITY` disables deadlines.
+    pub deadline_us: f64,
+    /// Re-admission attempts after a queue-full rejection before the
+    /// request is shed for good. `0` sheds on the first rejection.
+    pub max_retries: u32,
+    /// First backoff delay, µs; attempt `k` waits `base · 2^k` before
+    /// re-admission, capped at [`backoff_cap_us`](Self::backoff_cap_us).
+    pub backoff_base_us: f64,
+    /// Hard ceiling on any backoff delay, µs — jitter included; see
+    /// [`RetryPolicy::backoff_us`].
+    pub backoff_cap_us: f64,
+    /// Jitter amplitude: the pre-cap delay is scaled by a deterministic
+    /// `1 + jitter_frac · u` with `u ∈ [0, 1)`. `0` disables jitter.
+    pub jitter_frac: f64,
+    /// Seed for the jitter stream (mixed with request id and attempt).
+    pub jitter_seed: u64,
+    /// Hedge a batch still in flight after this long, µs: re-dispatch a
+    /// duplicate copy to a free GPU; whichever copy finishes first
+    /// completes the requests (counted once). `f64::INFINITY` disables
+    /// hedging.
+    pub hedge_after_us: f64,
+}
+
+impl RetryPolicy {
+    /// The inert policy: no deadline, no retries, no hedging. Simulation
+    /// under it is bit-identical to one without a retry policy at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            deadline_us: f64::INFINITY,
+            max_retries: 0,
+            backoff_base_us: 100.0,
+            backoff_cap_us: 10_000.0,
+            jitter_frac: 0.5,
+            jitter_seed: 0,
+            hedge_after_us: f64::INFINITY,
+        }
+    }
+
+    /// Set the per-request deadline, µs.
+    pub fn with_deadline(mut self, deadline_us: f64) -> Self {
+        self.deadline_us = deadline_us;
+        self
+    }
+
+    /// Allow up to `max_retries` re-admissions with exponential backoff
+    /// starting at `base_us` and capped at `cap_us`.
+    pub fn with_retries(mut self, max_retries: u32, base_us: f64, cap_us: f64) -> Self {
+        self.max_retries = max_retries;
+        self.backoff_base_us = base_us;
+        self.backoff_cap_us = cap_us;
+        self
+    }
+
+    /// Hedge in-flight batches after `hedge_after_us` µs.
+    pub fn with_hedging(mut self, hedge_after_us: f64) -> Self {
+        self.hedge_after_us = hedge_after_us;
+        self
+    }
+
+    /// Whether a per-request deadline is in force.
+    pub fn deadline_enabled(&self) -> bool {
+        self.deadline_us.is_finite()
+    }
+
+    /// Whether hedged re-dispatch is in force.
+    pub fn hedging_enabled(&self) -> bool {
+        self.hedge_after_us.is_finite()
+    }
+
+    /// Whether the policy can change a simulation at all.
+    pub fn is_inert(&self) -> bool {
+        !self.deadline_enabled() && !self.hedging_enabled() && self.max_retries == 0
+    }
+
+    /// The backoff delay before re-admission attempt `attempt` (0-based)
+    /// of request `id`, µs.
+    ///
+    /// Deterministic: a pure function of `(jitter_seed, id, attempt)`.
+    /// Never exceeds [`backoff_cap_us`](Self::backoff_cap_us) — the cap is
+    /// applied *after* jitter (pinned by a property test).
+    pub fn backoff_us(&self, id: usize, attempt: u32) -> f64 {
+        let doubled = self.backoff_base_us * 2f64.powi(attempt.min(MAX_BACKOFF_DOUBLINGS) as i32);
+        let mut rng = StdRng::seed_from_u64(
+            self.jitter_seed
+                ^ (id as u64)
+                    .wrapping_mul(JITTER_MIX)
+                    .wrapping_add(attempt as u64),
+        );
+        let jitter = 1.0 + self.jitter_frac * rng.gen::<f64>();
+        (doubled.min(self.backoff_cap_us) * jitter).min(self.backoff_cap_us)
+    }
+
+    /// Check the knobs are usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.deadline_us.is_nan() || self.deadline_us <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "deadline_us",
+            });
+        }
+        if !self.backoff_base_us.is_finite() || self.backoff_base_us <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "backoff_base_us",
+            });
+        }
+        if !self.backoff_cap_us.is_finite() || self.backoff_cap_us < self.backoff_base_us {
+            return Err(SimError::InvalidConfig {
+                parameter: "backoff_cap_us",
+            });
+        }
+        if !self.jitter_frac.is_finite() || !(0.0..=1.0).contains(&self.jitter_frac) {
+            return Err(SimError::InvalidConfig {
+                parameter: "jitter_frac",
+            });
+        }
+        if self.hedge_after_us.is_nan() || self.hedge_after_us <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "hedge_after_us",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Bounded-queue admission control.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Reject an arrival (or re-admission) once this many requests are
+    /// already waiting in the batcher. `usize::MAX` never rejects.
+    pub max_queue_depth: usize,
+    /// Shed a request at admission time when its deadline has already
+    /// passed (needs a finite [`RetryPolicy::deadline_us`] to matter).
+    pub shed_expired: bool,
+}
+
+impl AdmissionPolicy {
+    /// The inert policy: everything is admitted. Simulation under it is
+    /// bit-identical to one without admission control at all.
+    pub fn unbounded() -> Self {
+        AdmissionPolicy {
+            max_queue_depth: usize::MAX,
+            shed_expired: false,
+        }
+    }
+
+    /// Bound the waiting queue at `max_queue_depth` and shed requests
+    /// whose deadline already passed at admission.
+    pub fn bounded(max_queue_depth: usize) -> Self {
+        AdmissionPolicy {
+            max_queue_depth,
+            shed_expired: true,
+        }
+    }
+
+    /// Whether the policy can change a simulation at all.
+    pub fn is_inert(&self) -> bool {
+        self.max_queue_depth == usize::MAX && !self.shed_expired
+    }
+
+    /// Check the knobs are usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the depth bound is zero
+    /// (nothing could ever be admitted).
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.max_queue_depth == 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "max_queue_depth",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_policies_self_identify() {
+        assert!(RetryPolicy::none().is_inert());
+        assert!(AdmissionPolicy::unbounded().is_inert());
+        assert!(!RetryPolicy::none().with_deadline(1e4).is_inert());
+        assert!(!RetryPolicy::none().with_hedging(500.0).is_inert());
+        assert!(!RetryPolicy::none().with_retries(3, 50.0, 1e3).is_inert());
+        assert!(!AdmissionPolicy::bounded(64).is_inert());
+    }
+
+    #[test]
+    fn backoff_grows_then_saturates_at_cap() {
+        let p = RetryPolicy::none().with_retries(40, 100.0, 5_000.0);
+        let d0 = p.backoff_us(7, 0);
+        let d3 = p.backoff_us(7, 3);
+        assert!(d0 >= 100.0, "jitter only inflates: {d0}");
+        assert!(d3 > d0, "doubling dominates jitter over 3 attempts");
+        for attempt in 0..80 {
+            for id in [0usize, 1, 99, 10_000] {
+                let d = p.backoff_us(id, attempt);
+                assert!(d > 0.0 && d <= 5_000.0, "id {id} attempt {attempt}: {d}");
+            }
+        }
+        // Deep attempts pin to the cap exactly (jitter then re-capped).
+        assert_eq!(p.backoff_us(3, 62), 5_000.0);
+        assert_eq!(p.backoff_us(3, 63), 5_000.0, "exponent saturates");
+    }
+
+    #[test]
+    fn backoff_is_a_pure_function_of_seed_id_attempt() {
+        let p = RetryPolicy::none().with_retries(5, 100.0, 1e6);
+        assert_eq!(p.backoff_us(11, 2), p.backoff_us(11, 2));
+        assert_ne!(p.backoff_us(11, 2), p.backoff_us(12, 2), "ids decorrelate");
+        let mut q = p;
+        q.jitter_seed = 1;
+        assert_ne!(p.backoff_us(11, 2), q.backoff_us(11, 2), "seed matters");
+        let mut no_jitter = p;
+        no_jitter.jitter_frac = 0.0;
+        assert_eq!(no_jitter.backoff_us(11, 2), 400.0, "2^2 · 100 µs exactly");
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let bad = [
+            RetryPolicy {
+                deadline_us: 0.0,
+                ..RetryPolicy::none()
+            },
+            RetryPolicy {
+                deadline_us: f64::NAN,
+                ..RetryPolicy::none()
+            },
+            RetryPolicy {
+                backoff_base_us: 0.0,
+                ..RetryPolicy::none()
+            },
+            RetryPolicy {
+                backoff_cap_us: 1.0,
+                ..RetryPolicy::none()
+            },
+            RetryPolicy {
+                jitter_frac: -0.1,
+                ..RetryPolicy::none()
+            },
+            RetryPolicy {
+                jitter_frac: f64::INFINITY,
+                ..RetryPolicy::none()
+            },
+            RetryPolicy {
+                hedge_after_us: -5.0,
+                ..RetryPolicy::none()
+            },
+        ];
+        for p in bad {
+            assert!(p.validate().is_err(), "{p:?}");
+        }
+        assert!(RetryPolicy::none().validate().is_ok());
+        assert!(RetryPolicy::none()
+            .with_deadline(2e4)
+            .with_retries(4, 50.0, 2_000.0)
+            .with_hedging(800.0)
+            .validate()
+            .is_ok());
+
+        assert!(AdmissionPolicy {
+            max_queue_depth: 0,
+            shed_expired: false
+        }
+        .validate()
+        .is_err());
+        assert!(AdmissionPolicy::bounded(1).validate().is_ok());
+        assert!(AdmissionPolicy::unbounded().validate().is_ok());
+    }
+}

@@ -23,17 +23,49 @@ pub struct CompletionRecord {
     pub gpu: usize,
 }
 
+/// How a request that arrived inside the simulated window ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestOutcome {
+    /// Its batch finished on a GPU (possibly after its deadline — SLO
+    /// accounting judges lateness separately, see
+    /// [`SimReport::availability_at`](crate::sim::SimReport::availability_at)).
+    Completed,
+    /// Rejected by admission control with its retry budget exhausted.
+    Shed,
+    /// Its deadline passed while it was still waiting (in the batcher's
+    /// queue or between backoff retries).
+    TimedOut,
+    /// Still queued, awaiting a retry, or on a GPU when the clock stopped.
+    InFlightAtHorizon,
+}
+
 /// Per-request outcome of a simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestRecord {
     /// When the request arrived, µs.
     pub arrival_us: f64,
-    /// Set once the request's batch completes; `None` when the simulation
-    /// horizon cut it off while waiting or in flight.
+    /// Set once the request's batch completes; `None` when it was shed,
+    /// timed out, or the simulation horizon cut it off.
     pub completion: Option<CompletionRecord>,
+    /// What became of the request; `None` when its arrival fell outside
+    /// the simulated window.
+    pub outcome: Option<RequestOutcome>,
+    /// Backoff re-admissions this request went through.
+    pub retries: u32,
 }
 
 impl RequestRecord {
+    /// A fresh record for a request arriving at `arrival_us` whose fate is
+    /// not yet known.
+    pub fn pending(arrival_us: f64) -> Self {
+        RequestRecord {
+            arrival_us,
+            completion: None,
+            outcome: None,
+            retries: 0,
+        }
+    }
+
     /// End-to-end latency (arrival to completion), µs.
     pub fn latency_us(&self) -> Option<f64> {
         self.completion.map(|c| c.finish_us - self.arrival_us)
@@ -42,6 +74,12 @@ impl RequestRecord {
     /// Time spent waiting in the batcher's queue, µs.
     pub fn queue_wait_us(&self) -> Option<f64> {
         self.completion.map(|c| c.dispatch_us - self.arrival_us)
+    }
+
+    /// Whether the request completed within `sla_us` of its arrival.
+    pub fn completed_within(&self, sla_us: f64) -> bool {
+        self.outcome == Some(RequestOutcome::Completed)
+            && self.latency_us().is_some_and(|l| l <= sla_us)
     }
 }
 
@@ -160,20 +198,29 @@ mod tests {
     #[test]
     fn record_accessors() {
         let r = RequestRecord {
-            arrival_us: 10.0,
             completion: Some(CompletionRecord {
                 dispatch_us: 25.0,
                 finish_us: 100.0,
                 batch_size: 4,
                 gpu: 2,
             }),
+            outcome: Some(RequestOutcome::Completed),
+            ..RequestRecord::pending(10.0)
         };
         assert_eq!(r.latency_us(), Some(90.0));
         assert_eq!(r.queue_wait_us(), Some(15.0));
-        let unfinished = RequestRecord {
-            arrival_us: 10.0,
-            completion: None,
-        };
+        assert!(r.completed_within(90.0));
+        assert!(!r.completed_within(89.9));
+        let unfinished = RequestRecord::pending(10.0);
         assert_eq!(unfinished.latency_us(), None);
+        assert_eq!(unfinished.outcome, None);
+        assert!(!unfinished.completed_within(f64::INFINITY));
+        // A shed request never counts toward availability even with an
+        // infinite SLA.
+        let shed = RequestRecord {
+            outcome: Some(RequestOutcome::Shed),
+            ..RequestRecord::pending(10.0)
+        };
+        assert!(!shed.completed_within(f64::INFINITY));
     }
 }

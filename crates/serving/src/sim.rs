@@ -8,8 +8,25 @@
 //! (`PMEM`, `TDIMM`) pay shared-TensorNode contention scaled by how many
 //! GPUs are concurrently in flight, other designs pay their solo latency.
 //! The loop advances virtual time event by event — arrivals, batch-window
-//! flushes, GPU completions — and produces request-level tail-latency,
-//! throughput, queue-depth and batch-occupancy metrics.
+//! flushes, GPU completions, fault transitions, retry timers — and
+//! produces request-level tail-latency, throughput, queue-depth,
+//! batch-occupancy and availability metrics.
+//!
+//! # Faults and degraded-mode serving
+//!
+//! A [`FaultPlan`] on the [`SimConfig`] expands (deterministically, per
+//! seed) into timed state transitions: DIMM rank losses shrink the node's
+//! gather bandwidth (priced through
+//! [`BatchPricer::price_degraded`]), node outages hold dispatch entirely
+//! (in-flight batches still finish), gray ranks inflate every node-backed
+//! batch by a latency multiplier, and transient row faults charge bounded
+//! re-read traffic to the next dispatched batch. A [`RetryPolicy`] adds
+//! per-request deadlines, capped-exponential backoff re-admission after
+//! queue-full rejections, and hedged re-dispatch of slow batches; an
+//! [`AdmissionPolicy`] bounds the waiting queue. All three default to
+//! inert values under which the simulation is **bit-identical** to a run
+//! without them (pinned by regression tests and the `sweep_availability`
+//! CI gate).
 //!
 //! # Event ordering
 //!
@@ -18,9 +35,15 @@
 //!
 //! 1. **GPU completions** — finished batches release their GPU before any
 //!    same-instant work is admitted,
-//! 2. **arrivals** — in trace order, so a request arriving exactly when a
+//! 2. **fault transitions** — a batch finishing exactly when a fault
+//!    strikes completes healthy, while an arrival at that instant sees the
+//!    degraded node,
+//! 3. **arrivals** — in trace order, so a request arriving exactly when a
 //!    GPU frees can dispatch at that instant,
-//! 3. **batch-window flushes** — the timer observes every same-instant
+//! 4. **retry fires** — deadline checks, backoff re-admissions and hedge
+//!    timers observe every same-instant arrival; a deadline coinciding
+//!    with a flush wins (the expired request is removed before sealing),
+//! 5. **batch-window flushes** — the timer observes every same-instant
 //!    arrival (a request arriving exactly at a window expiry joins the
 //!    flushed batch rather than starting a new one).
 //!
@@ -28,8 +51,17 @@
 //! heap internals, so [`simulate`] is bit-identical for identical inputs
 //! even with colliding timestamps (see the regression tests).
 //!
-//! Everything is deterministic: same model, configuration, pricing backend
-//! and arrival trace ⇒ bit-identical [`SimReport`].
+//! Everything is deterministic: same model, configuration, fault plan,
+//! policies, pricing backend and arrival trace ⇒ bit-identical
+//! [`SimReport`]. The loop still *processes* timer events that trail the
+//! last request-state change (deadline fires for already-completed
+//! requests, batch-window flushes of already-dispatched requests, fault
+//! repairs after the last completion), but they do not move
+//! [`SimReport::end_us`]: the reported end of the run — and the
+//! denominator of `throughput_qps` / `goodput_qps` — is the last instant
+//! a request actually changed state (arrived, completed, shed or timed
+//! out) or a dispatched batch copy finished, or the horizon when one
+//! cuts the run.
 //!
 //! # Example
 //!
@@ -53,15 +85,18 @@ use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
 
+use tensordimm_faults::{FaultError, FaultPlan, FaultState, Transition};
 use tensordimm_interconnect::InterconnectError;
 use tensordimm_models::Workload;
 use tensordimm_system::{
-    BatchPricer, DesignPoint, HotRowCacheConfig, PricingBackend, SystemModel, TransferBackend,
+    BatchPricer, DegradedNode, DesignPoint, HotRowCacheConfig, PricingBackend, SystemModel,
+    TransferBackend,
 };
 
-use crate::batcher::{BatchPolicy, DynamicBatcher, QueuedRequest};
-use crate::metrics::{BatchStats, LatencySummary, QueueDepthTracker, QueueStats};
-use crate::request::{CompletionRecord, RequestRecord};
+use crate::batcher::{BatchPolicy, DynamicBatcher, QueuedRequest, TIMER_SLACK_US};
+use crate::metrics::{BatchStats, LatencySummary, OutcomeCounts, QueueDepthTracker, QueueStats};
+use crate::policy::{AdmissionPolicy, RetryPolicy};
+use crate::request::{CompletionRecord, RequestOutcome, RequestRecord};
 
 /// Errors from the serving simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,8 +142,20 @@ impl From<InterconnectError> for SimError {
     }
 }
 
-/// Simulator configuration: the design point under test and its serving
-/// resources.
+impl From<FaultError> for SimError {
+    fn from(e: FaultError) -> Self {
+        match e {
+            FaultError::InvalidPlan { parameter } => SimError::InvalidConfig { parameter },
+            _ => SimError::InvalidConfig {
+                parameter: "faults",
+            },
+        }
+    }
+}
+
+/// Simulator configuration: the design point under test, its serving
+/// resources, and (optionally) the faults and degraded-mode policies the
+/// run is subjected to.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Which design point serves the traffic.
@@ -133,11 +180,22 @@ pub struct SimConfig {
     /// so a fabric-configured model is not silently reverted). Ignored by
     /// [`simulate_with_pricer`], whose caller owns the pricer.
     pub transfer: Option<TransferBackend>,
+    /// Deterministic fault injection: expanded over the horizon (or the
+    /// last arrival when there is none) into timed state transitions.
+    /// [`FaultPlan::none`] — the default — injects nothing and is
+    /// bit-identical to a fault-free run.
+    pub faults: FaultPlan,
+    /// Deadline / backoff-retry / hedging policy
+    /// ([`RetryPolicy::none`] by default).
+    pub retry: RetryPolicy,
+    /// Queue-depth admission control
+    /// ([`AdmissionPolicy::unbounded`] by default).
+    pub admission: AdmissionPolicy,
 }
 
 impl SimConfig {
     /// A configuration that runs to completion (no horizon) with the
-    /// analytic pricing backend.
+    /// analytic pricing backend, no faults, and inert serving policies.
     pub fn new(design: DesignPoint, gpus: usize, policy: BatchPolicy) -> Self {
         SimConfig {
             design,
@@ -147,6 +205,9 @@ impl SimConfig {
             hot_rows: HotRowCacheConfig::disabled(),
             horizon_us: None,
             transfer: None,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::none(),
+            admission: AdmissionPolicy::unbounded(),
         }
     }
 
@@ -176,6 +237,24 @@ impl SimConfig {
         self
     }
 
+    /// Subject the run to this fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Serve with this retry/deadline/hedging policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Gate arrivals through this admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
     fn validate(&self) -> Result<(), SimError> {
         if self.gpus == 0 {
             return Err(SimError::InvalidConfig { parameter: "gpus" });
@@ -188,6 +267,9 @@ impl SimConfig {
                 });
             }
         }
+        self.faults.validate()?;
+        self.retry.validate()?;
+        self.admission.validate()?;
         Ok(())
     }
 }
@@ -211,10 +293,31 @@ pub struct SimReport {
     pub in_flight: usize,
     /// Requests still waiting in the batcher when the clock stopped.
     pub queued: usize,
-    /// Final virtual time, µs (last completion, or the horizon).
+    /// Requests waiting out a backoff delay when the clock stopped.
+    pub retry_pending: usize,
+    /// End of the run, µs: the last instant a request changed state
+    /// (arrived, completed, shed or timed out) or a dispatched batch
+    /// copy finished — trailing no-op timers and fault repairs don't
+    /// count — or the horizon when one is set and hit.
     pub end_us: f64,
     /// Completed requests per second of virtual time.
     pub throughput_qps: f64,
+    /// Requests completed *within the SLA* per second of virtual time
+    /// (equals `throughput_qps` when no deadline is configured).
+    pub goodput_qps: f64,
+    /// Fraction of arrived requests shed by admission control.
+    pub shed_rate: f64,
+    /// Fraction of arrived requests completed within [`sla_us`](Self::sla_us)
+    /// (`1.0` for a run with no arrivals).
+    pub availability: f64,
+    /// The SLA availability/goodput were judged against: the retry
+    /// policy's deadline (`∞` when none is configured — every completion
+    /// then counts).
+    pub sla_us: f64,
+    /// Where every arrived request ended up.
+    pub outcomes: OutcomeCounts,
+    /// Hedged duplicate dispatches (their requests are counted once).
+    pub hedge_dispatches: usize,
     /// End-to-end latency summary over completed requests.
     pub latency: LatencySummary,
     /// Waiting-queue depth statistics.
@@ -232,10 +335,50 @@ impl SimReport {
     }
 
     /// Flow conservation: every offered request is accounted for exactly
-    /// once (completed, in flight, queued, or not yet arrived).
+    /// once — completed, shed, timed out, in flight (on a GPU, queued, or
+    /// between retries), or not yet arrived — and the typed outcome
+    /// counts agree with the flat counters.
     pub fn is_conserved(&self) -> bool {
-        self.completed + self.in_flight + self.queued + self.not_arrived() == self.offered
+        let live = self.in_flight + self.queued + self.retry_pending;
+        self.outcomes.completed == self.completed
+            && self.outcomes.in_flight_at_horizon == live
+            && self.completed
+                + self.outcomes.shed
+                + self.outcomes.timed_out
+                + live
+                + self.not_arrived()
+                == self.offered
     }
+
+    /// Fraction of arrived requests that completed within `sla_us` of
+    /// their arrival (`1.0` for a run with no arrivals — vacuously
+    /// available). Shed and timed-out requests never count; neither do
+    /// completions slower than the SLA.
+    pub fn availability_at(&self, sla_us: f64) -> f64 {
+        if self.arrived == 0 {
+            return 1.0;
+        }
+        let within = self
+            .records
+            .iter()
+            .filter(|r| r.completed_within(sla_us))
+            .count();
+        within as f64 / self.arrived as f64
+    }
+}
+
+/// What a [`EventKind::RetryFire`] event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RetryKind {
+    /// Re-admit request `id` after its backoff delay (no-op when a
+    /// deadline already resolved it).
+    Readmit(usize),
+    /// Request `id`'s deadline: remove it from the queue or cancel its
+    /// pending retry; an in-flight request is left to finish.
+    Deadline(usize),
+    /// Hedge logical batch `batch` if it is still running on `gpu`:
+    /// dispatch a duplicate copy to a free GPU.
+    Hedge { gpu: usize, batch: u64 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -244,19 +387,26 @@ enum EventKind {
     Arrival(usize),
     /// A batch-window timer fires; seal a partial batch if one expired.
     Flush,
-    /// The batch on `gpu` completes.
+    /// The batch copy on `gpu` completes.
     GpuDone(usize),
+    /// Fault state transition (index into the expanded transition list).
+    FaultTransition(usize),
+    /// A retry/deadline/hedge timer fires.
+    RetryFire(RetryKind),
 }
 
 impl EventKind {
     /// Same-instant ordering (see the module docs): completions release
-    /// their GPU first, arrivals are admitted next, and the batch-window
-    /// timer runs last so it observes every same-instant arrival.
+    /// their GPU first, fault transitions change the node state next,
+    /// arrivals are admitted after that, retry timers run once every
+    /// same-instant arrival is in, and the batch-window timer runs last.
     fn tie_rank(&self) -> u8 {
         match self {
             EventKind::GpuDone(_) => 0,
-            EventKind::Arrival(_) => 1,
-            EventKind::Flush => 2,
+            EventKind::FaultTransition(_) => 1,
+            EventKind::Arrival(_) => 2,
+            EventKind::RetryFire(_) => 3,
+            EventKind::Flush => 4,
         }
     }
 }
@@ -296,11 +446,30 @@ impl PartialEq for Event {
 
 impl Eq for Event {}
 
-/// A batch occupying a GPU.
-#[derive(Debug, Clone)]
-struct InFlight {
+/// A dispatched batch. Normally one GPU runs one copy; hedging can put a
+/// duplicate copy on a second GPU, in which case the first copy to finish
+/// completes the requests (once) and the straggler just releases its GPU.
+#[derive(Debug)]
+struct LogicalBatch {
     dispatch_us: f64,
     requests: Vec<QueuedRequest>,
+    /// Whether some copy already completed the requests.
+    done: bool,
+    /// GPU copies currently running.
+    copies: u32,
+}
+
+/// Price-cache key: (batch size, active GPUs, degraded-state fingerprint).
+type PriceKey = (usize, usize, (u64, u64, u64, u64));
+
+/// What became of an admission attempt.
+enum Admit {
+    /// Queued (and dispatch was attempted).
+    Accepted,
+    /// Deadline already expired at admission; shed immediately.
+    Expired,
+    /// The queue is full; retry or shed.
+    QueueFull,
 }
 
 struct Engine<'a> {
@@ -313,12 +482,26 @@ struct Engine<'a> {
     batcher: DynamicBatcher,
     /// Free GPU ids; popped from the back (lowest id first by construction).
     free_gpus: Vec<usize>,
-    in_flight: Vec<Option<InFlight>>,
+    /// Per-GPU: the logical batch whose copy it is running.
+    in_flight: Vec<Option<u64>>,
     in_flight_requests: usize,
+    batches: HashMap<u64, LogicalBatch>,
+    next_batch: u64,
     batch_stats: BatchStats,
-    /// Memoized backend prices keyed on (batch size, active GPUs) — valid
-    /// because [`BatchPricer`] implementations are deterministic.
-    price_cache: HashMap<(usize, usize), f64>,
+    /// Memoized backend prices — valid because [`BatchPricer`]
+    /// implementations are deterministic pure functions of the key.
+    price_cache: HashMap<PriceKey, f64>,
+    /// Live fault state, folded from the schedule's transitions.
+    state: FaultState,
+    retry: RetryPolicy,
+    admission: AdmissionPolicy,
+    /// Backoff re-admissions consumed per request.
+    attempts: Vec<u32>,
+    /// Whether a `Readmit` timer is outstanding for the request.
+    awaiting_retry: Vec<bool>,
+    /// Requests currently waiting out a backoff delay.
+    retry_pending: usize,
+    hedge_dispatches: usize,
 }
 
 impl Engine<'_> {
@@ -331,25 +514,55 @@ impl Engine<'_> {
         self.seq += 1;
     }
 
-    fn service_us(&mut self, batch: usize, active: usize) -> Result<f64, SimError> {
-        if let Some(&us) = self.price_cache.get(&(batch, active)) {
+    /// The pricer's view of the current fault state, with `reread_rows`
+    /// of transient-fault re-read traffic charged to this batch.
+    fn degraded_view(&self, reread_rows: u64) -> DegradedNode {
+        DegradedNode {
+            dimms_alive: self.state.dimms_alive(),
+            dimms_total: self.state.dimms_total(),
+            latency_multiplier: self.state.gray_multiplier(),
+            reread_rows,
+        }
+    }
+
+    fn service_us(
+        &mut self,
+        batch: usize,
+        active: usize,
+        reread_rows: u64,
+    ) -> Result<f64, SimError> {
+        let degraded = self.degraded_view(reread_rows);
+        let key = (batch, active, degraded.fingerprint());
+        if let Some(&us) = self.price_cache.get(&key) {
             return Ok(us);
         }
-        let cost = self
-            .pricer
-            .price(self.workload, batch, self.design, active)?;
-        self.price_cache.insert((batch, active), cost.service_us);
+        // A healthy view goes through the plain `price` path — the exact
+        // call a fault-free simulation makes — so inert fault plans stay
+        // bit-identical even for pricers that only implement `price`.
+        let cost = if degraded.is_healthy() {
+            self.pricer
+                .price(self.workload, batch, self.design, active)?
+        } else {
+            self.pricer
+                .price_degraded(self.workload, batch, self.design, active, degraded)?
+        };
+        self.price_cache.insert(key, cost.service_us);
         Ok(cost.service_us)
     }
 
-    /// Seal and dispatch every ready batch while a GPU is free.
+    /// Seal and dispatch every ready batch while a GPU is free (and the
+    /// node is reachable — a node outage holds dispatch entirely).
     ///
     /// All batches sealed at this instant overlap for their whole
     /// duration, so the cohort is assigned to GPUs first and priced
     /// afterwards at the resulting concurrency (batches already in flight
     /// from earlier events keep their dispatch-time pricing — the model's
-    /// documented approximation).
+    /// documented approximation). Pending re-read traffic from transient
+    /// row faults is charged to the first batch of the cohort.
     fn dispatch_ready(&mut self, now_us: f64) -> Result<(), SimError> {
+        if !self.state.can_dispatch() {
+            return Ok(());
+        }
         let mut cohort: Vec<(usize, Vec<QueuedRequest>)> = Vec::new();
         while !self.free_gpus.is_empty() {
             let Some(requests) = self.batcher.take_ready_batch(now_us) else {
@@ -359,17 +572,101 @@ impl Engine<'_> {
             cohort.push((gpu, requests));
         }
         let active = self.gpus - self.free_gpus.len();
+        let mut reread_rows = if cohort.is_empty() {
+            0
+        } else {
+            self.state.take_reread_rows()
+        };
         for (gpu, requests) in cohort {
-            let service = self.service_us(requests.len(), active)?;
+            let service = self.service_us(requests.len(), active, reread_rows)?;
+            reread_rows = 0;
             self.batch_stats.record(requests.len());
             self.in_flight_requests += requests.len();
-            self.in_flight[gpu] = Some(InFlight {
-                dispatch_us: now_us,
-                requests,
-            });
+            let id = self.next_batch;
+            self.next_batch += 1;
+            self.batches.insert(
+                id,
+                LogicalBatch {
+                    dispatch_us: now_us,
+                    requests,
+                    done: false,
+                    copies: 1,
+                },
+            );
+            self.in_flight[gpu] = Some(id);
             self.push_event(now_us + service, EventKind::GpuDone(gpu));
+            if self.retry.hedging_enabled() {
+                self.push_event(
+                    now_us + self.retry.hedge_after_us,
+                    EventKind::RetryFire(RetryKind::Hedge { gpu, batch: id }),
+                );
+            }
         }
         Ok(())
+    }
+
+    /// Hedge `batch` if its original copy is still running on `gpu`:
+    /// dispatch a duplicate to a free GPU. Hedged copies are priced at the
+    /// current concurrency and fault state but are *not* new logical
+    /// batches — they don't count in batch stats, don't consume re-read
+    /// traffic, and their requests complete (at most) once.
+    fn try_hedge(&mut self, now_us: f64, gpu: usize, batch: u64) -> Result<(), SimError> {
+        if self.in_flight[gpu] != Some(batch)
+            || !self.state.can_dispatch()
+            || self.free_gpus.is_empty()
+        {
+            return Ok(());
+        }
+        let size = self
+            .batches
+            .get(&batch)
+            .map(|b| b.requests.len())
+            .unwrap_or(0);
+        if size == 0 {
+            return Ok(());
+        }
+        let hedge_gpu = self.free_gpus.pop().expect("checked nonempty");
+        let active = self.gpus - self.free_gpus.len();
+        match self.service_us(size, active, 0) {
+            Ok(service) => {
+                let b = self
+                    .batches
+                    .get_mut(&batch)
+                    .expect("in-flight batch exists");
+                b.copies += 1;
+                self.in_flight[hedge_gpu] = Some(batch);
+                self.hedge_dispatches += 1;
+                self.push_event(now_us + service, EventKind::GpuDone(hedge_gpu));
+                Ok(())
+            }
+            Err(e) => {
+                self.free_gpus.push(hedge_gpu);
+                Err(e)
+            }
+        }
+    }
+
+    /// Run the admission policy for request `id` (fresh arrival or
+    /// backoff re-admission) at `now_us`. On acceptance the request is
+    /// queued, its flush timer armed, and dispatch attempted.
+    fn admit(&mut self, now_us: f64, id: usize, arrival_us: f64) -> Result<Admit, SimError> {
+        if self.admission.shed_expired && self.retry.deadline_enabled() {
+            let deadline = arrival_us + self.retry.deadline_us;
+            if now_us + TIMER_SLACK_US >= deadline {
+                return Ok(Admit::Expired);
+            }
+        }
+        if self.batcher.depth() >= self.admission.max_queue_depth {
+            return Ok(Admit::QueueFull);
+        }
+        self.batcher.push(QueuedRequest {
+            id,
+            arrival_us: now_us,
+        });
+        let max_wait_us = self.batcher.policy().max_wait_us;
+        self.push_event(now_us + max_wait_us, EventKind::Flush);
+        self.dispatch_ready(now_us)?;
+        Ok(Admit::Accepted)
     }
 }
 
@@ -383,9 +680,10 @@ impl Engine<'_> {
 ///
 /// # Errors
 ///
-/// Returns [`SimError::InvalidConfig`] for unusable knobs,
-/// [`SimError::BadArrival`] for an unsorted/non-finite trace, and
-/// [`SimError::Pricing`] if the system model rejects a batch.
+/// Returns [`SimError::InvalidConfig`] for unusable knobs (including
+/// fault-plan and policy knobs), [`SimError::BadArrival`] for an
+/// unsorted/non-finite trace, and [`SimError::Pricing`] if the system
+/// model rejects a batch.
 pub fn simulate(
     model: &SystemModel,
     workload: &Workload,
@@ -433,37 +731,64 @@ pub fn simulate_with_pricer(
         }
     }
 
+    // Expand the fault plan over the simulated window: the horizon when
+    // one is set, the last arrival otherwise (repairs may trail it).
+    let fault_horizon = cfg
+        .horizon_us
+        .unwrap_or_else(|| arrivals_us.last().copied().unwrap_or(0.0));
+    let transitions: Vec<Transition> = if cfg.faults.is_inert() {
+        Vec::new()
+    } else {
+        cfg.faults.schedule(fault_horizon)?.transitions()
+    };
+
     let n = arrivals_us.len();
     let mut engine = Engine {
         pricer,
         workload,
         design: cfg.design,
         gpus: cfg.gpus,
-        heap: BinaryHeap::with_capacity(2 * n + cfg.gpus),
+        heap: BinaryHeap::with_capacity(2 * n + cfg.gpus + transitions.len()),
         seq: 0,
         batcher: DynamicBatcher::new(cfg.policy),
         free_gpus: (0..cfg.gpus).rev().collect(),
         in_flight: vec![None; cfg.gpus],
         in_flight_requests: 0,
+        batches: HashMap::new(),
+        next_batch: 0,
         batch_stats: BatchStats::new(cfg.policy.max_batch),
         price_cache: HashMap::new(),
+        state: FaultState::healthy(cfg.faults.dimms),
+        retry: cfg.retry,
+        admission: cfg.admission,
+        attempts: vec![0; n],
+        awaiting_retry: vec![false; n],
+        retry_pending: 0,
+        hedge_dispatches: 0,
     };
     for (id, &t) in arrivals_us.iter().enumerate() {
         engine.push_event(t, EventKind::Arrival(id));
     }
+    for (i, tr) in transitions.iter().enumerate() {
+        engine.push_event(tr.at_us, EventKind::FaultTransition(i));
+    }
 
     let mut records: Vec<RequestRecord> = arrivals_us
         .iter()
-        .map(|&t| RequestRecord {
-            arrival_us: t,
-            completion: None,
-        })
+        .map(|&t| RequestRecord::pending(t))
         .collect();
     let mut latencies: Vec<f64> = Vec::with_capacity(n);
     let mut queue_tracker = QueueDepthTracker::default();
     let mut arrived = 0usize;
     let mut completed = 0usize;
+    let mut shed = 0usize;
+    let mut timed_out = 0usize;
     let mut clock_us = 0.0f64;
+    // Last instant a request changed state — what `end_us` reports.
+    // Trailing no-op timers (a deadline firing for a request that already
+    // completed, a flush for one that already dispatched, a fault repair
+    // after the last completion) advance `clock_us` but not this.
+    let mut progress_us = 0.0f64;
     let mut horizon_hit = false;
 
     while let Some(event) = engine.heap.pop() {
@@ -478,34 +803,99 @@ pub fn simulate_with_pricer(
         match event.kind {
             EventKind::Arrival(id) => {
                 arrived += 1;
-                engine.batcher.push(QueuedRequest {
-                    id,
-                    arrival_us: event.time_us,
-                });
-                // Arm the batch-window timer for this request's wait budget.
-                engine.push_event(event.time_us + cfg.policy.max_wait_us, EventKind::Flush);
-                engine.dispatch_ready(event.time_us)?;
+                progress_us = event.time_us;
+                if engine.retry.deadline_enabled() {
+                    engine.push_event(
+                        records[id].arrival_us + engine.retry.deadline_us,
+                        EventKind::RetryFire(RetryKind::Deadline(id)),
+                    );
+                }
+                match engine.admit(event.time_us, id, records[id].arrival_us)? {
+                    Admit::Accepted => {}
+                    Admit::Expired => {
+                        records[id].outcome = Some(RequestOutcome::TimedOut);
+                        timed_out += 1;
+                    }
+                    Admit::QueueFull => {
+                        reject(&mut engine, &mut records, &mut shed, event.time_us, id);
+                    }
+                }
             }
             EventKind::Flush => {
                 engine.dispatch_ready(event.time_us)?;
             }
+            EventKind::FaultTransition(i) => {
+                engine.state.apply(transitions[i].change);
+                engine.dispatch_ready(event.time_us)?;
+            }
+            EventKind::RetryFire(RetryKind::Readmit(id)) => {
+                if engine.awaiting_retry[id] {
+                    progress_us = event.time_us;
+                    engine.awaiting_retry[id] = false;
+                    engine.retry_pending -= 1;
+                    match engine.admit(event.time_us, id, records[id].arrival_us)? {
+                        Admit::Accepted => {}
+                        Admit::Expired => {
+                            records[id].outcome = Some(RequestOutcome::TimedOut);
+                            timed_out += 1;
+                        }
+                        Admit::QueueFull => {
+                            reject(&mut engine, &mut records, &mut shed, event.time_us, id);
+                        }
+                    }
+                }
+            }
+            EventKind::RetryFire(RetryKind::Deadline(id)) => {
+                if records[id].outcome.is_none() {
+                    if engine.batcher.remove(id).is_some() {
+                        records[id].outcome = Some(RequestOutcome::TimedOut);
+                        timed_out += 1;
+                        progress_us = event.time_us;
+                    } else if engine.awaiting_retry[id] {
+                        // Cancel the pending re-admission; its Readmit
+                        // event becomes a no-op.
+                        engine.awaiting_retry[id] = false;
+                        engine.retry_pending -= 1;
+                        records[id].outcome = Some(RequestOutcome::TimedOut);
+                        timed_out += 1;
+                        progress_us = event.time_us;
+                    }
+                    // Otherwise the request is on a GPU: let it finish —
+                    // availability judges the lateness.
+                }
+            }
+            EventKind::RetryFire(RetryKind::Hedge { gpu, batch }) => {
+                engine.try_hedge(event.time_us, gpu, batch)?;
+            }
             EventKind::GpuDone(gpu) => {
-                let batch = engine.in_flight[gpu]
+                progress_us = event.time_us;
+                let bid = engine.in_flight[gpu]
                     .take()
                     .expect("GpuDone implies a batch in flight");
-                let size = batch.requests.len();
-                for q in &batch.requests {
-                    records[q.id].completion = Some(CompletionRecord {
-                        dispatch_us: batch.dispatch_us,
-                        finish_us: event.time_us,
-                        batch_size: size,
-                        gpu,
-                    });
-                    latencies.push(event.time_us - q.arrival_us);
-                }
-                completed += size;
-                engine.in_flight_requests -= size;
                 engine.free_gpus.push(gpu);
+                let mut batch = engine.batches.remove(&bid).expect("live batch");
+                batch.copies -= 1;
+                if !batch.done {
+                    batch.done = true;
+                    let size = batch.requests.len();
+                    for q in &batch.requests {
+                        records[q.id].completion = Some(CompletionRecord {
+                            dispatch_us: batch.dispatch_us,
+                            finish_us: event.time_us,
+                            batch_size: size,
+                            gpu,
+                        });
+                        records[q.id].outcome = Some(RequestOutcome::Completed);
+                        latencies.push(event.time_us - records[q.id].arrival_us);
+                    }
+                    completed += size;
+                    engine.in_flight_requests -= size;
+                }
+                if batch.copies > 0 {
+                    // A hedged duplicate is still running; keep the batch
+                    // so the straggler's completion only frees its GPU.
+                    engine.batches.insert(bid, batch);
+                }
                 engine.dispatch_ready(event.time_us)?;
             }
         }
@@ -514,9 +904,34 @@ pub fn simulate_with_pricer(
     let end_us = if horizon_hit {
         cfg.horizon_us.expect("horizon_hit implies a horizon")
     } else {
-        clock_us
+        progress_us
     };
-    let queue = queue_tracker.finish(end_us, engine.batcher.depth());
+    // Arrivals are processed in trace order, so the arrived requests are
+    // exactly the first `arrived` records; any of them without a resolved
+    // outcome was cut off mid-flight (queued, retrying, or on a GPU).
+    for rec in records.iter_mut().take(arrived) {
+        if rec.outcome.is_none() {
+            rec.outcome = Some(RequestOutcome::InFlightAtHorizon);
+        }
+    }
+    let outcomes = OutcomeCounts {
+        completed,
+        shed,
+        timed_out,
+        in_flight_at_horizon: engine.in_flight_requests
+            + engine.batcher.depth()
+            + engine.retry_pending,
+    };
+    let sla_us = cfg.retry.deadline_us;
+    let within = records
+        .iter()
+        .filter(|r| r.completed_within(sla_us))
+        .count();
+    // The tracker has integrated up to `clock_us` (possibly past `end_us`
+    // through trailing no-op events, over which the queue is necessarily
+    // empty — any depth change is itself progress); normalize over the
+    // reported run length.
+    let queue = queue_tracker.finish(clock_us.max(end_us), end_us, engine.batcher.depth());
     let mut batches = engine.batch_stats;
     batches.finalize();
     Ok(SimReport {
@@ -528,12 +943,31 @@ pub fn simulate_with_pricer(
         completed,
         in_flight: engine.in_flight_requests,
         queued: engine.batcher.depth(),
+        retry_pending: engine.retry_pending,
         end_us,
         throughput_qps: if end_us > 0.0 {
             completed as f64 / (end_us * 1e-6)
         } else {
             0.0
         },
+        goodput_qps: if end_us > 0.0 {
+            within as f64 / (end_us * 1e-6)
+        } else {
+            0.0
+        },
+        shed_rate: if arrived > 0 {
+            shed as f64 / arrived as f64
+        } else {
+            0.0
+        },
+        availability: if arrived > 0 {
+            within as f64 / arrived as f64
+        } else {
+            1.0
+        },
+        sla_us,
+        outcomes,
+        hedge_dispatches: engine.hedge_dispatches,
         latency: LatencySummary::from_latencies(latencies),
         queue,
         batches,
@@ -541,10 +975,34 @@ pub fn simulate_with_pricer(
     })
 }
 
+/// Queue-full rejection: consume a retry (scheduling re-admission after
+/// deterministic backoff) or shed for good.
+fn reject(
+    engine: &mut Engine<'_>,
+    records: &mut [RequestRecord],
+    shed: &mut usize,
+    now_us: f64,
+    id: usize,
+) {
+    let attempt = engine.attempts[id];
+    if attempt < engine.retry.max_retries {
+        engine.attempts[id] += 1;
+        records[id].retries += 1;
+        engine.awaiting_retry[id] = true;
+        engine.retry_pending += 1;
+        let delay = engine.retry.backoff_us(id, attempt);
+        engine.push_event(now_us + delay, EventKind::RetryFire(RetryKind::Readmit(id)));
+    } else {
+        records[id].outcome = Some(RequestOutcome::Shed);
+        *shed += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::arrivals::ArrivalProcess;
+    use tensordimm_faults::{GrayRank, NodeOutage, RowFaults};
 
     fn model() -> SystemModel {
         SystemModel::paper_defaults()
@@ -567,6 +1025,12 @@ mod tests {
         assert!(r.is_conserved());
         assert_eq!(r.latency.count, 500);
         assert!(r.end_us >= *arrivals.last().expect("nonempty"));
+        // No deadline: every completion is within the (infinite) SLA.
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(r.goodput_qps, r.throughput_qps);
+        assert_eq!(r.shed_rate, 0.0);
+        assert_eq!(r.outcomes.completed, 500);
+        assert_eq!(r.outcomes.total(), r.arrived);
     }
 
     #[test]
@@ -582,6 +1046,14 @@ mod tests {
         assert!(r.arrived < r.offered);
         assert!(r.is_conserved());
         assert_eq!(r.end_us, mid);
+        // Cut-off requests carry the typed outcome; not-arrived carry none.
+        let cut = r
+            .records
+            .iter()
+            .filter(|rec| rec.outcome == Some(RequestOutcome::InFlightAtHorizon))
+            .count();
+        assert_eq!(cut, r.outcomes.in_flight_at_horizon);
+        assert!(r.records[r.offered - 1].outcome.is_none());
     }
 
     #[test]
@@ -714,8 +1186,8 @@ mod tests {
         let c0 = r.records[0].completion.expect("drained");
         let c1 = r.records[1].completion.expect("drained");
         let c2 = r.records[2].completion.expect("drained");
-        // t=100: request 1 arrives (rank 1) exactly when request 0's
-        // window expires (rank 2): the arrival is admitted first, so it
+        // t=100: request 1 arrives (rank 2) exactly when request 0's
+        // window expires (rank 4): the arrival is admitted first, so it
         // joins the flushed batch — {0, 1} dispatches together at 100.
         assert_eq!(
             (c0.dispatch_us, c0.finish_us, c0.batch_size),
@@ -726,7 +1198,7 @@ mod tests {
             (100.0, 200.0, 2)
         );
         // t=200: batch {0, 1} completes (rank 0) exactly as request 2
-        // arrives (rank 1); request 2 then waits out its own window and
+        // arrives (rank 2); request 2 then waits out its own window and
         // dispatches alone at 300.
         assert_eq!(
             (c2.dispatch_us, c2.finish_us, c2.batch_size),
@@ -858,6 +1330,8 @@ mod tests {
         assert_eq!(r.completed, 0);
         assert!(r.is_conserved());
         assert_eq!(r.throughput_qps, 0.0);
+        assert_eq!(r.availability, 1.0, "no arrivals: vacuously available");
+        assert_eq!(r.shed_rate, 0.0);
     }
 
     #[test]
@@ -900,5 +1374,245 @@ mod tests {
         assert!(!SimError::InvalidConfig { parameter: "gpus" }
             .to_string()
             .is_empty());
+        // Fault-plan and policy knobs are validated through the config.
+        assert!(matches!(
+            simulate(
+                &m,
+                &w,
+                &good.with_faults(FaultPlan::dimm_faults(1, 2.0)),
+                &[]
+            ),
+            Err(SimError::InvalidConfig {
+                parameter: "dimm_fault_rate"
+            })
+        ));
+        assert!(matches!(
+            simulate(
+                &m,
+                &w,
+                &good.with_retry(RetryPolicy::none().with_deadline(0.0)),
+                &[]
+            ),
+            Err(SimError::InvalidConfig {
+                parameter: "deadline_us"
+            })
+        ));
+        assert!(matches!(
+            simulate(
+                &m,
+                &w,
+                &good.with_admission(AdmissionPolicy {
+                    max_queue_depth: 0,
+                    shed_expired: false
+                }),
+                &[]
+            ),
+            Err(SimError::InvalidConfig {
+                parameter: "max_queue_depth"
+            })
+        ));
+    }
+
+    /// The headline robustness contract: fault/retry/admission machinery
+    /// that is armed but never fires must be **bit-identical** to a run
+    /// that never heard of it, on both pricing backends. (The plans here
+    /// are deliberately *non-inert* objects whose events all fall outside
+    /// the run — exercising the full scheduling/admission code path.)
+    #[test]
+    fn latent_fault_machinery_is_bit_identical() {
+        let m = model();
+        let w = Workload::facebook();
+        let arrivals = poisson(150_000.0, 400, 41);
+        for pricing in [PricingBackend::Analytic, PricingBackend::CycleCalibrated] {
+            let plain = SimConfig::new(DesignPoint::Tdimm, 4, BatchPolicy::new(16, 200.0))
+                .with_pricing(pricing);
+            let latent = plain
+                // Outage far beyond the last arrival: scheduled, never fires.
+                .with_faults(FaultPlan::none().with_node_outage(NodeOutage {
+                    start_us: 1e12,
+                    duration_us: 1.0,
+                }))
+                // Retries allowed but the unbounded queue never rejects.
+                .with_retry(RetryPolicy::none().with_retries(3, 100.0, 1_000.0))
+                // Bounded far above any realizable depth; shed_expired is
+                // moot without a deadline.
+                .with_admission(AdmissionPolicy::bounded(1_000_000));
+            let a = simulate(&m, &w, &plain, &arrivals).expect("valid");
+            let b = simulate(&m, &w, &latent, &arrivals).expect("valid");
+            assert_eq!(
+                a.records, b.records,
+                "latent fault machinery must not perturb {pricing:?}"
+            );
+            assert_eq!(a.latency, b.latency);
+            assert_eq!(a.end_us, b.end_us);
+            assert_eq!(a.queue, b.queue);
+            assert_eq!(a.batches, b.batches);
+        }
+    }
+
+    /// A node outage holds dispatch (in-flight work finishes) and the
+    /// repair transition releases the held queue.
+    #[test]
+    fn node_outage_holds_dispatch_until_repair() {
+        let w = Workload::facebook();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 1, BatchPolicy::new(1, 0.0)).with_faults(
+            FaultPlan::none().with_node_outage(NodeOutage {
+                start_us: 25.0,
+                duration_us: 100.0,
+            }),
+        );
+        let pricer = ConstPricer(10.0);
+        // Request 0 dispatches healthy at t=0, finishes at 10. Request 1
+        // arrives at 50 — mid-outage — and must wait for the repair at
+        // 125 even though the GPU is free.
+        let r = simulate_with_pricer(&w, &cfg, &[0.0, 50.0], &pricer).expect("valid");
+        let c0 = r.records[0].completion.expect("healthy dispatch");
+        let c1 = r.records[1].completion.expect("released by repair");
+        assert_eq!((c0.dispatch_us, c0.finish_us), (0.0, 10.0));
+        assert_eq!(
+            (c1.dispatch_us, c1.finish_us),
+            (125.0, 135.0),
+            "queued arrival must dispatch at the repair instant"
+        );
+        assert!(r.is_conserved());
+        let again = simulate_with_pricer(&w, &cfg, &[0.0, 50.0], &pricer).expect("valid");
+        assert_eq!(r, again);
+    }
+
+    /// Gray ranks and rank loss degrade real-pricer service times; the
+    /// run still conserves and replays bit-identically.
+    #[test]
+    fn degraded_node_inflates_latency_but_conserves() {
+        let m = model();
+        let w = Workload::youtube();
+        let arrivals = poisson(100_000.0, 300, 19);
+        let base = SimConfig::new(DesignPoint::Tdimm, 4, BatchPolicy::new(16, 200.0));
+        let healthy = simulate(&m, &w, &base, &arrivals).expect("valid");
+        let gray = base.with_faults(FaultPlan::none().with_gray(GrayRank {
+            start_us: 0.0,
+            duration_us: 1e9,
+            latency_multiplier: 3.0,
+        }));
+        let g = simulate(&m, &w, &gray, &arrivals).expect("valid");
+        assert!(
+            g.latency.mean_us > healthy.latency.mean_us,
+            "gray {} vs healthy {}",
+            g.latency.mean_us,
+            healthy.latency.mean_us
+        );
+        assert!(g.is_conserved());
+        assert_eq!(g.completed, 300, "gray slows but loses nothing");
+        // Heavy rank loss also slows node designs without losing work.
+        let faulty = base.with_faults(FaultPlan::dimm_faults(5, 1.0));
+        let f = simulate(&m, &w, &faulty, &arrivals).expect("valid");
+        assert!(f.is_conserved());
+        assert_eq!(f.completed, 300);
+        assert!(
+            f.latency.mean_us >= healthy.latency.mean_us,
+            "rank loss cannot speed the node up"
+        );
+        assert_eq!(
+            f,
+            simulate(&m, &w, &faulty, &arrivals).expect("valid"),
+            "fault-enabled runs replay bit-identically"
+        );
+        // Transient row faults charge re-read traffic without losing work.
+        let rowy = base.with_faults(FaultPlan::none().with_row_faults(RowFaults {
+            every_us: 100.0,
+            rows: 512,
+        }));
+        let rf = simulate(&m, &w, &rowy, &arrivals).expect("valid");
+        assert!(rf.is_conserved());
+        assert_eq!(rf.completed, 300);
+        assert!(rf.latency.mean_us >= healthy.latency.mean_us);
+    }
+
+    /// Deadlines time out queued requests (in-flight work finishes) and
+    /// availability judges late completions.
+    #[test]
+    fn deadline_times_out_queued_requests() {
+        let w = Workload::facebook();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 1, BatchPolicy::new(1, 0.0))
+            .with_retry(RetryPolicy::none().with_deadline(100.0));
+        let pricer = ConstPricer(1000.0);
+        // Request 0 occupies the only GPU for [0, 1000); requests 1 and 2
+        // sit in queue past their 100 µs deadlines.
+        let r = simulate_with_pricer(&w, &cfg, &[0.0, 1.0, 2.0], &pricer).expect("valid");
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.outcomes.timed_out, 2);
+        assert_eq!(r.records[0].outcome, Some(RequestOutcome::Completed));
+        assert_eq!(r.records[1].outcome, Some(RequestOutcome::TimedOut));
+        assert_eq!(r.records[2].outcome, Some(RequestOutcome::TimedOut));
+        assert!(r.is_conserved());
+        // The lone completion took 1000 µs against a 100 µs SLA.
+        assert_eq!(r.availability, 0.0);
+        assert_eq!(r.goodput_qps, 0.0);
+        assert!(r.throughput_qps > 0.0);
+        // A looser SLA judged after the fact sees the completion.
+        assert!(r.availability_at(1e6) > 0.0);
+    }
+
+    /// A bounded queue sheds when retries are exhausted and re-admits
+    /// (with deterministic backoff) when they are not.
+    #[test]
+    fn bounded_queue_sheds_or_retries() {
+        let w = Workload::facebook();
+        let pricer = ConstPricer(100.0);
+        let arrivals = [0.0, 1.0, 2.0];
+        let base = SimConfig::new(DesignPoint::Tdimm, 1, BatchPolicy::new(1, 0.0)).with_admission(
+            AdmissionPolicy {
+                max_queue_depth: 1,
+                shed_expired: false,
+            },
+        );
+        // No retries: the third arrival finds the queue full and is shed.
+        let r = simulate_with_pricer(&w, &base, &arrivals, &pricer).expect("valid");
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.outcomes.shed, 1);
+        assert_eq!(r.records[2].outcome, Some(RequestOutcome::Shed));
+        assert!((r.shed_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!(r.is_conserved());
+        // With a retry budget the rejection re-admits after backoff and
+        // the request completes; retries are recorded on the request.
+        let retrying = base.with_retry(RetryPolicy::none().with_retries(5, 200.0, 1_000.0));
+        let r2 = simulate_with_pricer(&w, &retrying, &arrivals, &pricer).expect("valid");
+        assert_eq!(r2.completed, 3);
+        assert_eq!(r2.outcomes.shed, 0);
+        assert_eq!(r2.retry_pending, 0);
+        assert_eq!(r2.records[2].retries, 1);
+        assert!(r2.is_conserved());
+        let c2 = r2.records[2].completion.expect("readmitted");
+        assert!(
+            c2.dispatch_us >= 200.0,
+            "re-admission waits out the backoff: {}",
+            c2.dispatch_us
+        );
+    }
+
+    /// Hedged duplicates complete their requests exactly once: the first
+    /// copy wins, the straggler only frees its GPU.
+    #[test]
+    fn hedged_duplicates_complete_once() {
+        let w = Workload::facebook();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 2, BatchPolicy::new(1, 0.0))
+            .with_retry(RetryPolicy::none().with_hedging(50.0));
+        let pricer = ConstPricer(100.0);
+        let r = simulate_with_pricer(&w, &cfg, &[0.0], &pricer).expect("valid");
+        assert_eq!(r.hedge_dispatches, 1, "slow batch hedged to the idle GPU");
+        assert_eq!(r.completed, 1, "duplicate copies complete requests once");
+        assert_eq!(r.latency.count, 1);
+        let c = r.records[0].completion.expect("completed");
+        assert_eq!(
+            (c.dispatch_us, c.finish_us, c.gpu),
+            (0.0, 100.0, 0),
+            "original copy wins; hedge (done at 150) only frees its GPU"
+        );
+        assert!(r.is_conserved());
+        assert_eq!(r.end_us, 150.0, "clock runs to the straggler's release");
+        // Busy cluster: no free GPU at the hedge instant ⇒ no hedge.
+        let r2 = simulate_with_pricer(&w, &cfg, &[0.0, 1.0], &pricer).expect("valid");
+        assert_eq!(r2.hedge_dispatches, 0);
+        assert_eq!(r2.completed, 2);
+        assert!(r2.is_conserved());
     }
 }

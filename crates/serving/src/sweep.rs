@@ -187,8 +187,18 @@ mod tests {
                 completed: 10,
                 in_flight: 0,
                 queued: 0,
+                retry_pending: 0,
                 end_us: 1e6,
                 throughput_qps: offered_qps,
+                goodput_qps: offered_qps,
+                shed_rate: 0.0,
+                availability: 1.0,
+                sla_us: f64::INFINITY,
+                outcomes: crate::metrics::OutcomeCounts {
+                    completed: 10,
+                    ..Default::default()
+                },
+                hedge_dispatches: 0,
                 latency: LatencySummary::from_latencies(vec![p99_us; 10]),
                 queue: Default::default(),
                 batches: crate::metrics::BatchStats::new(1),

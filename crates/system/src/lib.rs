@@ -44,7 +44,7 @@ pub use design::DesignPoint;
 pub use model::{SystemModel, SystemModelConfig, TransferBackend};
 pub use pricer::{
     AnalyticPricer, BatchPricer, CycleKey, CycleMeasure, CyclePricer, CyclePricerConfig,
-    PricingBackend,
+    DegradedNode, PricingBackend,
 };
 pub use serving::{node_sharing, price_batch, sharing_sweep, BatchCost, ServingReport};
 pub use sweep::{geometric_mean, normalized_performance, speedup_matrix, SweepPoint};

@@ -270,6 +270,34 @@ impl SystemModel {
         batch: usize,
         design: DesignPoint,
     ) -> PhaseBreakdown {
+        self.evaluate_with_node_peak(workload, batch, design, self.config.node_peak_gbps)
+    }
+
+    /// [`SystemModel::evaluate`] with the node bandwidth scaled by
+    /// `factor` — a TensorNode serving with `alive`/`total` DIMMs keeps
+    /// `alive/total` of its aggregated peak (the Fig. 7 stripe mapping
+    /// spreads every gather over all DIMMs symmetrically). Only the
+    /// node-backed designs (`Pmem`, `Tdimm`) are affected.
+    pub fn evaluate_degraded(
+        &self,
+        workload: &Workload,
+        batch: usize,
+        design: DesignPoint,
+        factor: f64,
+    ) -> PhaseBreakdown {
+        self.evaluate_with_node_peak(workload, batch, design, self.config.node_peak_gbps * factor)
+    }
+
+    /// The evaluation body, parameterized over the effective TensorNode
+    /// peak bandwidth (GB/s). `evaluate` passes the configured peak;
+    /// degraded-mode pricing passes a reduced one.
+    pub(crate) fn evaluate_with_node_peak(
+        &self,
+        workload: &Workload,
+        batch: usize,
+        design: DesignPoint,
+        node_peak_gbps: f64,
+    ) -> PhaseBreakdown {
         let cfg = &self.config;
         let gathered = workload.gathered_bytes(batch);
         let pooled = workload.pooled_bytes(batch);
@@ -309,7 +337,7 @@ impl SystemModel {
                 // Pooled memory without NMP: raw gathered embeddings are
                 // read from the node's DIMMs and cross NVLINK; the GPU pools.
                 let lookup_us =
-                    gathered as f64 * us_per_byte(cfg.node_peak_gbps * cfg.pmem_read_utilization);
+                    gathered as f64 * us_per_byte(node_peak_gbps * cfg.pmem_read_utilization);
                 let transfer_us = self
                     .config
                     .topology
@@ -331,17 +359,15 @@ impl SystemModel {
                 // and AVERAGE re-reads it.
                 let (gather_us, pool_us) = if cfg.fused_gather_pool {
                     (
-                        gathered as f64
-                            * us_per_byte(cfg.node_peak_gbps * cfg.node_gather_utilization),
-                        pooled as f64
-                            * us_per_byte(cfg.node_peak_gbps * cfg.node_stream_utilization),
+                        gathered as f64 * us_per_byte(node_peak_gbps * cfg.node_gather_utilization),
+                        pooled as f64 * us_per_byte(node_peak_gbps * cfg.node_stream_utilization),
                     )
                 } else {
                     (
                         2.0 * gathered as f64
-                            * us_per_byte(cfg.node_peak_gbps * cfg.node_gather_utilization),
+                            * us_per_byte(node_peak_gbps * cfg.node_gather_utilization),
                         (gathered + pooled) as f64
-                            * us_per_byte(cfg.node_peak_gbps * cfg.node_stream_utilization),
+                            * us_per_byte(node_peak_gbps * cfg.node_stream_utilization),
                     )
                 };
                 let transfer_us = self

@@ -87,6 +87,87 @@ impl PricingBackend {
     }
 }
 
+/// The degraded-capacity view of the TensorNode a batch is priced
+/// against: how many DIMM ranks are serving, any gray-failure latency
+/// inflation, and rows a transient fault forces the batch to re-read.
+///
+/// [`DegradedNode::healthy`] is the identity: pricing against it is
+/// required (and tested) to be bit-identical to the plain
+/// [`BatchPricer::price`] path, so fault-aware callers with an empty
+/// schedule reproduce fault-free runs exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedNode {
+    /// DIMM ranks currently serving (`>= 1`; a node with zero alive
+    /// ranks cannot dispatch and is rejected).
+    pub dimms_alive: u64,
+    /// DIMM ranks configured.
+    pub dimms_total: u64,
+    /// Gray-failure service-time inflation (`1.0` = healthy; applied to
+    /// the whole batch cost without removing capacity).
+    pub latency_multiplier: f64,
+    /// Rows this batch must re-read after transient faults (charged as
+    /// extra gather traffic at the degraded bandwidth).
+    pub reread_rows: u64,
+}
+
+impl DegradedNode {
+    /// The identity view of a `dimms_total`-rank node.
+    pub fn healthy(dimms_total: u64) -> Self {
+        DegradedNode {
+            dimms_alive: dimms_total,
+            dimms_total,
+            latency_multiplier: 1.0,
+            reread_rows: 0,
+        }
+    }
+
+    /// Whether this view degrades nothing.
+    pub fn is_healthy(&self) -> bool {
+        self.dimms_alive == self.dimms_total
+            && self.latency_multiplier == 1.0
+            && self.reread_rows == 0
+    }
+
+    /// Surviving fraction of the node's aggregated bandwidth: the
+    /// Fig. 7 stripe mapping spreads every gather over all ranks
+    /// symmetrically, so `alive/total` of the peak survives.
+    pub fn bandwidth_factor(&self) -> f64 {
+        self.dimms_alive as f64 / self.dimms_total as f64
+    }
+
+    /// Hashable identity for price memoization: two views with equal
+    /// fingerprints price identically.
+    pub fn fingerprint(&self) -> (u64, u64, u64, u64) {
+        (
+            self.dimms_alive,
+            self.dimms_total,
+            self.latency_multiplier.to_bits(),
+            self.reread_rows,
+        )
+    }
+
+    /// Check the view is priceable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterconnectError::InvalidLink`] when no rank is alive,
+    /// `dimms_alive > dimms_total`, or the multiplier is not a finite
+    /// value `>= 1`.
+    pub fn validate(&self) -> Result<(), InterconnectError> {
+        if self.dimms_alive == 0 || self.dimms_alive > self.dimms_total {
+            return Err(InterconnectError::InvalidLink {
+                parameter: "dimms_alive",
+            });
+        }
+        if !self.latency_multiplier.is_finite() || self.latency_multiplier < 1.0 {
+            return Err(InterconnectError::InvalidLink {
+                parameter: "latency_multiplier",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Prices one dispatched batch at a given concurrency.
 ///
 /// Implementations must be deterministic: the same `(workload, batch,
@@ -111,8 +192,46 @@ pub trait BatchPricer: Send + Sync {
         active_gpus: usize,
     ) -> Result<BatchCost, InterconnectError>;
 
+    /// [`BatchPricer::price`] against a degraded TensorNode.
+    ///
+    /// The default implementation is conservative: for node designs it
+    /// scales the healthy cost by `total/alive` (lost ranks slow the
+    /// whole batch, not just the node phases) and by the gray multiplier,
+    /// and ignores `reread_rows`; non-node designs are unaffected (their
+    /// memory paths are not the TensorNode's). Both built-in backends
+    /// override this to degrade only the node-side phases exactly. Every
+    /// implementation must price a [`DegradedNode::healthy`] view
+    /// bit-identically to `price`.
+    ///
+    /// # Errors
+    ///
+    /// As [`price`](BatchPricer::price), plus
+    /// [`InterconnectError::InvalidLink`] for an unpriceable view (see
+    /// [`DegradedNode::validate`]).
+    fn price_degraded(
+        &self,
+        workload: &Workload,
+        batch: usize,
+        design: DesignPoint,
+        active_gpus: usize,
+        degraded: DegradedNode,
+    ) -> Result<BatchCost, InterconnectError> {
+        degraded.validate()?;
+        let mut cost = self.price(workload, batch, design, active_gpus)?;
+        if matches!(design, DesignPoint::Pmem | DesignPoint::Tdimm) {
+            cost.service_us *= degraded.latency_multiplier / degraded.bandwidth_factor();
+        }
+        Ok(cost)
+    }
+
     /// Which backend this is.
     fn backend(&self) -> PricingBackend;
+}
+
+/// Extra gather traffic of `reread_rows` forced re-reads, priced at the
+/// (degraded) effective gather bandwidth.
+fn reread_us(workload: &Workload, reread_rows: u64, gather_gbps: f64) -> f64 {
+    reread_rows as f64 * workload.embedding_bytes() as f64 / (gather_gbps * 1e3)
 }
 
 /// The closed-form analytic backend: delegates to
@@ -138,6 +257,39 @@ impl BatchPricer for AnalyticPricer<'_> {
         active_gpus: usize,
     ) -> Result<BatchCost, InterconnectError> {
         price_batch(self.model, workload, batch, design, active_gpus)
+    }
+
+    /// Exact degraded pricing: the node-side phases are re-evaluated at
+    /// the surviving `alive/total` bandwidth fraction
+    /// ([`SystemModel::evaluate_degraded`]), forced re-reads are charged
+    /// as extra gather traffic at the degraded bandwidth, and the gray
+    /// multiplier inflates the final contended cost.
+    fn price_degraded(
+        &self,
+        workload: &Workload,
+        batch: usize,
+        design: DesignPoint,
+        active_gpus: usize,
+        degraded: DegradedNode,
+    ) -> Result<BatchCost, InterconnectError> {
+        degraded.validate()?;
+        if degraded.is_healthy() || !matches!(design, DesignPoint::Pmem | DesignPoint::Tdimm) {
+            return self.price(workload, batch, design, active_gpus);
+        }
+        let cfg = self.model.config();
+        let factor = degraded.bandwidth_factor();
+        let node_peak = cfg.node_peak_gbps * factor;
+        let mut solo = self
+            .model
+            .evaluate_with_node_peak(workload, batch, design, node_peak);
+        let gather_gbps = match design {
+            DesignPoint::Pmem => node_peak * cfg.pmem_read_utilization,
+            _ => node_peak * cfg.node_gather_utilization,
+        };
+        solo.lookup_us += reread_us(workload, degraded.reread_rows, gather_gbps);
+        let mut cost = contended_cost(self.model, workload, batch, design, active_gpus, &solo)?;
+        cost.service_us *= degraded.latency_multiplier;
+        Ok(cost)
     }
 
     fn backend(&self) -> PricingBackend {
@@ -529,18 +681,30 @@ impl<'a> CyclePricer<'a> {
     /// re-priced at the measured bandwidth (non-node designs return the
     /// analytic breakdown unchanged — their memory paths are not the
     /// TensorNode's and keep the analytic model).
+    ///
+    /// `bw_factor` scales the node's effective bandwidth — both the
+    /// analytic baseline and the measured gather term — for degraded
+    /// pricing: each surviving rank delivers what the replay measured for
+    /// it, there are just fewer of them aggregating. The healthy path
+    /// passes `1.0`, which is exact (multiplying by `1.0` is the
+    /// floating-point identity), so degraded support costs the fault-free
+    /// path nothing.
     fn calibrated_solo(
         &self,
         workload: &Workload,
         batch: usize,
         design: DesignPoint,
+        bw_factor: f64,
     ) -> crate::breakdown::PhaseBreakdown {
-        let mut solo = self.model.evaluate(workload, batch, design);
+        let cfg = self.model.config();
+        let node_peak = cfg.node_peak_gbps * bw_factor;
+        let mut solo = self
+            .model
+            .evaluate_with_node_peak(workload, batch, design, node_peak);
         if !matches!(design, DesignPoint::Pmem | DesignPoint::Tdimm) {
             return solo;
         }
-        let cfg = self.model.config();
-        let measured_gbps = self.measured_node_gbps(workload, batch);
+        let measured_gbps = self.measured_node_gbps(workload, batch) * bw_factor;
         let gathered = workload.gathered_bytes(batch) as f64;
         let us_per_byte = |gbps: f64| 1.0 / (gbps * 1e3);
         // Swap the analytic gather term for the measured one; the
@@ -548,15 +712,13 @@ impl<'a> CyclePricer<'a> {
         // analytic (the replay calibrates the gather pattern only).
         let (analytic_gather_us, measured_gather_us) = match design {
             DesignPoint::Pmem => (
-                gathered * us_per_byte(cfg.node_peak_gbps * cfg.pmem_read_utilization),
+                gathered * us_per_byte(node_peak * cfg.pmem_read_utilization),
                 gathered * us_per_byte(measured_gbps),
             ),
             _ => {
                 let passes = if cfg.fused_gather_pool { 1.0 } else { 2.0 };
                 (
-                    passes
-                        * gathered
-                        * us_per_byte(cfg.node_peak_gbps * cfg.node_gather_utilization),
+                    passes * gathered * us_per_byte(node_peak * cfg.node_gather_utilization),
                     passes * gathered * us_per_byte(measured_gbps),
                 )
             }
@@ -574,8 +736,35 @@ impl BatchPricer for CyclePricer<'_> {
         design: DesignPoint,
         active_gpus: usize,
     ) -> Result<BatchCost, InterconnectError> {
-        let solo = self.calibrated_solo(workload, batch, design);
+        let solo = self.calibrated_solo(workload, batch, design, 1.0);
         contended_cost(self.model, workload, batch, design, active_gpus, &solo)
+    }
+
+    /// Exact degraded pricing on the cycle-calibrated path: the memoized
+    /// per-rank measurement is reused (per-rank bandwidth does not change
+    /// when a *different* rank dies — the aggregate just sums fewer
+    /// ranks), scaled by `alive/total`, with forced re-reads charged at
+    /// the degraded measured bandwidth and the gray multiplier applied to
+    /// the contended cost.
+    fn price_degraded(
+        &self,
+        workload: &Workload,
+        batch: usize,
+        design: DesignPoint,
+        active_gpus: usize,
+        degraded: DegradedNode,
+    ) -> Result<BatchCost, InterconnectError> {
+        degraded.validate()?;
+        if degraded.is_healthy() || !matches!(design, DesignPoint::Pmem | DesignPoint::Tdimm) {
+            return self.price(workload, batch, design, active_gpus);
+        }
+        let factor = degraded.bandwidth_factor();
+        let mut solo = self.calibrated_solo(workload, batch, design, factor);
+        let measured_gbps = self.measured_node_gbps(workload, batch) * factor;
+        solo.lookup_us += reread_us(workload, degraded.reread_rows, measured_gbps);
+        let mut cost = contended_cost(self.model, workload, batch, design, active_gpus, &solo)?;
+        cost.service_us *= degraded.latency_multiplier;
+        Ok(cost)
     }
 
     fn backend(&self) -> PricingBackend {
@@ -879,6 +1068,201 @@ mod tests {
                 .service_us
                 .to_bits()
         );
+    }
+
+    /// Pricing against a healthy `DegradedNode` must be bit-identical to
+    /// the plain `price` path on both backends — the foundation of the
+    /// empty-fault-schedule identity gate.
+    #[test]
+    fn healthy_degraded_view_is_bit_identical_to_price() {
+        let model = SystemModel::paper_defaults();
+        let cycle = quick_pricer(&model);
+        let analytic = AnalyticPricer::new(&model);
+        let w = Workload::facebook();
+        let healthy = DegradedNode::healthy(32);
+        assert!(healthy.is_healthy());
+        for d in [
+            DesignPoint::Pmem,
+            DesignPoint::Tdimm,
+            DesignPoint::CpuGpu,
+            DesignPoint::GpuOnly,
+        ] {
+            for pricer in [&analytic as &dyn BatchPricer, &cycle as &dyn BatchPricer] {
+                let plain = pricer.price(&w, 16, d, 4).expect("valid");
+                let degraded = pricer.price_degraded(&w, 16, d, 4, healthy).expect("valid");
+                assert_eq!(
+                    plain.service_us.to_bits(),
+                    degraded.service_us.to_bits(),
+                    "{d} on {:?}",
+                    pricer.backend()
+                );
+                assert_eq!(plain.port_bound, degraded.port_bound);
+            }
+        }
+    }
+
+    #[test]
+    fn losing_ranks_raises_node_costs_monotonically() {
+        let model = SystemModel::paper_defaults();
+        let cycle = quick_pricer(&model);
+        let analytic = AnalyticPricer::new(&model);
+        let w = Workload::facebook();
+        for d in [DesignPoint::Pmem, DesignPoint::Tdimm] {
+            for pricer in [&analytic as &dyn BatchPricer, &cycle as &dyn BatchPricer] {
+                let mut last = 0.0f64;
+                for alive in (8..=32).rev().step_by(8) {
+                    let view = DegradedNode {
+                        dimms_alive: alive,
+                        ..DegradedNode::healthy(32)
+                    };
+                    let cost = pricer.price_degraded(&w, 16, d, 4, view).expect("valid");
+                    assert!(
+                        cost.service_us >= last,
+                        "{d}: {alive}/32 ranks priced {} below {last}",
+                        cost.service_us
+                    );
+                    last = cost.service_us;
+                }
+                let healthy = pricer.price(&w, 16, d, 4).expect("valid").service_us;
+                assert!(last > healthy, "quarter-capacity must cost more");
+            }
+        }
+    }
+
+    #[test]
+    fn gray_multiplier_inflates_and_rereads_add_traffic() {
+        let model = SystemModel::paper_defaults();
+        let analytic = AnalyticPricer::new(&model);
+        let w = Workload::youtube();
+        let base = DegradedNode {
+            dimms_alive: 31,
+            ..DegradedNode::healthy(32)
+        };
+        let plain = analytic
+            .price_degraded(&w, 16, DesignPoint::Tdimm, 2, base)
+            .expect("valid");
+        let gray = analytic
+            .price_degraded(
+                &w,
+                16,
+                DesignPoint::Tdimm,
+                2,
+                DegradedNode {
+                    latency_multiplier: 2.0,
+                    ..base
+                },
+            )
+            .expect("valid");
+        assert_eq!(
+            gray.service_us.to_bits(),
+            (plain.service_us * 2.0).to_bits(),
+            "gray inflates the final cost exactly"
+        );
+        let reread = analytic
+            .price_degraded(
+                &w,
+                16,
+                DesignPoint::Tdimm,
+                2,
+                DegradedNode {
+                    reread_rows: 10_000,
+                    ..base
+                },
+            )
+            .expect("valid");
+        assert!(reread.service_us > plain.service_us);
+        // Non-node designs ignore the degradation entirely.
+        let gpu = analytic
+            .price_degraded(
+                &w,
+                16,
+                DesignPoint::GpuOnly,
+                2,
+                DegradedNode {
+                    dimms_alive: 1,
+                    latency_multiplier: 4.0,
+                    ..DegradedNode::healthy(32)
+                },
+            )
+            .expect("valid");
+        let gpu_plain = analytic
+            .price(&w, 16, DesignPoint::GpuOnly, 2)
+            .expect("valid");
+        assert_eq!(gpu.service_us.to_bits(), gpu_plain.service_us.to_bits());
+    }
+
+    /// The trait's conservative default: scales node costs, leaves the
+    /// rest alone.
+    #[test]
+    fn default_price_degraded_scales_whole_batch() {
+        struct Fixed;
+        impl BatchPricer for Fixed {
+            fn price(
+                &self,
+                _workload: &Workload,
+                _batch: usize,
+                _design: DesignPoint,
+                active_gpus: usize,
+            ) -> Result<BatchCost, InterconnectError> {
+                if active_gpus == 0 {
+                    return Err(InterconnectError::InvalidLink {
+                        parameter: "active_gpus",
+                    });
+                }
+                Ok(BatchCost {
+                    service_us: 100.0,
+                    port_bound: false,
+                })
+            }
+            fn backend(&self) -> PricingBackend {
+                PricingBackend::Analytic
+            }
+        }
+        let half = DegradedNode {
+            dimms_alive: 16,
+            latency_multiplier: 1.5,
+            ..DegradedNode::healthy(32)
+        };
+        let cost = Fixed
+            .price_degraded(&Workload::ncf(), 8, DesignPoint::Tdimm, 1, half)
+            .expect("valid");
+        assert!((cost.service_us - 100.0 * 2.0 * 1.5).abs() < 1e-9);
+        let non_node = Fixed
+            .price_degraded(&Workload::ncf(), 8, DesignPoint::CpuGpu, 1, half)
+            .expect("valid");
+        assert_eq!(non_node.service_us, 100.0);
+    }
+
+    #[test]
+    fn unpriceable_degraded_views_rejected() {
+        let model = SystemModel::paper_defaults();
+        let analytic = AnalyticPricer::new(&model);
+        let w = Workload::ncf();
+        for view in [
+            DegradedNode {
+                dimms_alive: 0,
+                ..DegradedNode::healthy(32)
+            },
+            DegradedNode {
+                dimms_alive: 33,
+                ..DegradedNode::healthy(32)
+            },
+            DegradedNode {
+                latency_multiplier: 0.5,
+                ..DegradedNode::healthy(32)
+            },
+            DegradedNode {
+                latency_multiplier: f64::NAN,
+                ..DegradedNode::healthy(32)
+            },
+        ] {
+            assert!(
+                analytic
+                    .price_degraded(&w, 8, DesignPoint::Tdimm, 1, view)
+                    .is_err(),
+                "{view:?}"
+            );
+        }
     }
 
     #[test]

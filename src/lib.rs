@@ -21,6 +21,9 @@
 //! * [`serving`] — request-level discrete-event serving simulator: arrival
 //!   processes, dynamic batching, multi-GPU dispatch and tail-latency
 //!   metrics over the system model,
+//! * [`faults`] — seeded virtual-time fault schedules (DIMM rank losses,
+//!   node outages, gray ranks, row faults) injected into the serving loop
+//!   for degraded-mode availability studies,
 //! * [`exec`] — deterministic scoped worker-pool helpers behind the
 //!   parallel sweep/pricer/DRAM-channel paths (results bit-identical to
 //!   sequential execution).
@@ -57,6 +60,7 @@ pub use tensordimm_core as core;
 pub use tensordimm_dram as dram;
 pub use tensordimm_embedding as embedding;
 pub use tensordimm_exec as exec;
+pub use tensordimm_faults as faults;
 pub use tensordimm_interconnect as interconnect;
 pub use tensordimm_isa as isa;
 pub use tensordimm_models as models;

@@ -9,7 +9,8 @@ use proptest::prelude::*;
 use tensordimm::dram::{DramConfig, MemorySystem, Request};
 use tensordimm::models::{Workload, WorkloadName};
 use tensordimm::serving::{
-    offered_load_sweep, offered_load_sweep_par, simulate_with_pricer, BatchPolicy, SimConfig,
+    offered_load_sweep, offered_load_sweep_par, simulate_with_pricer, AdmissionPolicy, BatchPolicy,
+    FaultPlan, RetryPolicy, SimConfig,
 };
 use tensordimm::system::{
     BatchPricer, CycleKey, CyclePricer, CyclePricerConfig, DesignPoint, PricingBackend, SystemModel,
@@ -96,6 +97,59 @@ proptest! {
                 prop_assert_eq!(
                     s.report.throughput_qps.to_bits(),
                     p.report.throughput_qps.to_bits()
+                );
+            }
+        }
+    }
+
+    /// The same invariance with the fault layer armed: DIMM faults, a
+    /// deadline/retry/hedging policy and bounded admission all ride inside
+    /// `SimConfig`, so fanning the load points across a worker pool must
+    /// still be bit-identical to the sequential sweep — outcome counters,
+    /// goodput and per-request records included.
+    #[test]
+    fn fault_enabled_sweep_invariant_across_worker_counts(
+        workload in arb_workload(),
+        fault_rate in 0.0f64..1.0,
+        fault_seed in 0u64..1_000,
+        base_rate in 50_000.0f64..300_000.0,
+        n_rates in 2usize..4,
+        seed in 0u64..500,
+    ) {
+        let model = SystemModel::paper_defaults();
+        let mut plan = FaultPlan::dimm_faults(fault_seed, fault_rate);
+        plan.dimms = 2;
+        plan.dimm_candidate_gap_us = 250.0;
+        plan.dimm_repair_us = 2_500.0;
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 4, BatchPolicy::new(16, 250.0))
+            .with_faults(plan)
+            .with_retry(
+                RetryPolicy::none()
+                    .with_deadline(2_000.0)
+                    .with_retries(3, 100.0, 2_000.0)
+                    .with_hedging(1_500.0),
+            )
+            .with_admission(AdmissionPolicy::bounded(64));
+        let rates: Vec<f64> = (0..n_rates)
+            .map(|i| base_rate * 2f64.powi(i as i32))
+            .collect();
+        let seq = offered_load_sweep(&model, &workload, &cfg, &rates, 150, seed)
+            .expect("valid");
+        for workers in [2usize, 8] {
+            let par = offered_load_sweep_par(
+                &model, &workload, &cfg, &rates, 150, seed, workers,
+            )
+            .expect("valid");
+            prop_assert_eq!(&seq, &par, "workers={}", workers);
+            for (s, p) in seq.iter().zip(par.iter()) {
+                prop_assert_eq!(s.report.outcomes, p.report.outcomes);
+                prop_assert_eq!(
+                    s.report.goodput_qps.to_bits(),
+                    p.report.goodput_qps.to_bits()
+                );
+                prop_assert_eq!(
+                    s.report.latency.p99_us.to_bits(),
+                    p.report.latency.p99_us.to_bits()
                 );
             }
         }

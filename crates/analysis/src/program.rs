@@ -1,0 +1,906 @@
+//! Abstract interpretation over TensorISA programs.
+//!
+//! [`analyze_program`] walks a sequence of [`Instruction`]s bound for one
+//! DIMM and predicts, without touching memory, exactly what
+//! [`tensordimm_isa::execute_on_dimm`] would do: which instruction fails
+//! first (and why), and — for accepted programs — the exact per-DIMM
+//! [`ExecSummary`].
+//!
+//! All address arithmetic is done in `u128`, so a computation that would
+//! overflow `u64` in the executor (a debug-build panic) is classified as
+//! out-of-bounds here: the true address is `>= 2^64`, which exceeds any
+//! representable capacity.
+//!
+//! Analysis scope notes:
+//!
+//! * GATHER table reads are checked through the provided index list
+//!   ([`ProgramStep::indices`]); lists shorter than `count` are padded
+//!   with zeros, matching both `AccessPlan::for_dimm` and zero-initialized
+//!   memory. If anything wrote into the index-list window first, the
+//!   runtime indices are unknowable and the program is rejected as
+//!   indeterminate rather than mis-predicted.
+//! * Use-before-def is reported for REDUCE/AVERAGE inputs only. GATHER
+//!   index lists are normally staged by the host (a prior *program* write
+//!   there is the indeterminacy error above), and embedding tables are
+//!   classic pre-initialized inputs — flagging either would be noise.
+
+use tensordimm_isa::{DimmContext, ExecSummary, Instruction, IsaError, LANES};
+
+use crate::{Diagnostic, DiagnosticKind};
+
+const LANES_W: u128 = LANES as u128;
+
+/// One instruction of a program under analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramStep<'a> {
+    /// The instruction.
+    pub instr: Instruction,
+    /// For GATHER: the index list staged at `idx_base` before the program
+    /// runs, in lookup order. Entries beyond the list length count as
+    /// zero. Ignored for REDUCE/AVERAGE.
+    pub indices: Option<&'a [u64]>,
+}
+
+impl<'a> ProgramStep<'a> {
+    /// A step with no index list (sufficient for REDUCE/AVERAGE; a GATHER
+    /// without indices is rejected as [`DiagnosticKind::MissingIndices`]).
+    pub fn new(instr: Instruction) -> Self {
+        ProgramStep {
+            instr,
+            indices: None,
+        }
+    }
+
+    /// A step carrying the index list its GATHER will observe.
+    pub fn with_indices(instr: Instruction, indices: &'a [u64]) -> Self {
+        ProgramStep {
+            instr,
+            indices: Some(indices),
+        }
+    }
+}
+
+/// The analyzer's verdict over a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramReport {
+    /// All findings, grouped by instruction in program order; within one
+    /// instruction, errors precede warnings and infos, in the order the
+    /// runtime would hit them.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Statically computed per-DIMM work over all validating steps.
+    /// Exact for accepted programs: it equals the merged [`ExecSummary`]
+    /// of executing every step.
+    pub summary: ExecSummary,
+}
+
+impl ProgramReport {
+    /// Whether the program carries no error-severity diagnostics.
+    ///
+    /// An accepted program is guaranteed to execute successfully (and
+    /// match [`ProgramReport::summary`]) under the conditions documented
+    /// on [`analyze_program`].
+    pub fn accepted(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == crate::Severity::Error)
+    }
+
+    /// The first error-severity diagnostic, if any — for determinate
+    /// programs this names the instruction the executor fails at.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == crate::Severity::Error)
+    }
+
+    /// Whether acceptance was undecidable (missing or clobbered index
+    /// lists) rather than provably pass/fail.
+    pub fn indeterminate(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.kind.is_indeterminate())
+    }
+}
+
+/// Closed-form per-DIMM work for one instruction (no memory access).
+///
+/// Counts use saturating arithmetic: they are exact whenever the
+/// instruction's loops terminate in bounded memory (in particular for any
+/// program [`analyze_program`] accepts).
+///
+/// # Errors
+///
+/// The same [`IsaError`] that [`tensordimm_isa::execute_on_dimm`] would
+/// raise before its first access: an invalid context or a validation
+/// failure.
+pub fn static_summary(instr: &Instruction, ctx: DimmContext) -> Result<ExecSummary, IsaError> {
+    validate_ctx(ctx)?;
+    instr.validate(ctx.node_dim)?;
+    let nd = ctx.node_dim;
+    Ok(match *instr {
+        Instruction::Gather {
+            count, vec_blocks, ..
+        } => {
+            // vec_blocks % node_dim == 0 post-validate, so every DIMM owns
+            // exactly vec_blocks / node_dim blocks of each embedding.
+            let owned = vec_blocks / nd;
+            let moved = count.saturating_mul(owned);
+            ExecSummary {
+                blocks_read: count.div_ceil(LANES as u64).saturating_add(moved),
+                blocks_written: moved,
+                alu_ops: 0,
+            }
+        }
+        Instruction::Reduce { count, .. } => {
+            // count % node_dim == 0 post-validate.
+            let n = count / nd;
+            ExecSummary {
+                blocks_read: n.saturating_mul(2),
+                blocks_written: n,
+                alu_ops: n,
+            }
+        }
+        Instruction::Average {
+            count,
+            group,
+            vec_blocks,
+            ..
+        } => {
+            let owned = vec_blocks / nd;
+            let written = count.saturating_mul(owned);
+            ExecSummary {
+                blocks_read: written.saturating_mul(group),
+                blocks_written: written,
+                alu_ops: written.saturating_mul(group.saturating_add(1)),
+            }
+        }
+    })
+}
+
+/// Analyze `steps` as one program executed in order by DIMM `ctx` against
+/// a flat memory of `mem_blocks` 64-byte blocks.
+///
+/// Agreement contract with `execute_on_dimm` run step-by-step on a
+/// zero-initialized memory pre-staged with each step's index list:
+///
+/// * accepted (no errors) ⇒ every step returns `Ok` and the merged
+///   summaries equal [`ProgramReport::summary`];
+/// * rejected with a determinate first error ⇒ execution fails (an `Err`
+///   or a memory-model panic) at exactly
+///   `first_error().unwrap().instr_index`;
+/// * rejected as [`ProgramReport::indeterminate`] ⇒ no runtime claim.
+pub fn analyze_program(
+    steps: &[ProgramStep<'_>],
+    ctx: DimmContext,
+    mem_blocks: u64,
+) -> ProgramReport {
+    let mut diagnostics = Vec::new();
+    let mut summary = ExecSummary::default();
+    if let Err(e) = validate_ctx(ctx) {
+        diagnostics.push(Diagnostic::new(0, DiagnosticKind::Malformed(e)));
+        return ProgramReport {
+            diagnostics,
+            summary,
+        };
+    }
+    let b = mem_blocks as u128;
+    let nd = ctx.node_dim as u128;
+    let tid = ctx.tid as u128;
+    // Half-open write windows of prior steps, for clobber/def-use lints.
+    let mut write_windows: Vec<(usize, u128, u128)> = Vec::new();
+
+    for (at, step) in steps.iter().enumerate() {
+        if let Err(e) = step.instr.validate(ctx.node_dim) {
+            // The executor fails before its first access: no window, no
+            // summary contribution.
+            diagnostics.push(Diagnostic::new(at, DiagnosticKind::Malformed(e)));
+            continue;
+        }
+        if let Ok(s) = static_summary(&step.instr, ctx) {
+            summary.merge(&s);
+        }
+
+        match step.instr {
+            Instruction::Gather {
+                table_base,
+                idx_base,
+                output_base,
+                count,
+                vec_blocks,
+            } => {
+                let cnt = count as u128;
+                let vb = vec_blocks as u128;
+                let ib = idx_base as u128;
+                let ob = output_base as u128;
+                let idx_win = (ib, ib.saturating_add(cnt.div_ceil(LANES_W)));
+                let out_win = (ob, ob.saturating_add(cnt.saturating_mul(vb)));
+
+                // The indices the executor reads must be the staged ones:
+                // any program write into the index-list window first (or
+                // the gather's own interleaved output) makes them
+                // unknowable.
+                let clobbered_by = write_windows
+                    .iter()
+                    .find(|&&(_, s, e)| overlaps(idx_win, (s, e)))
+                    .map(|&(who, ..)| who)
+                    .or_else(|| overlaps(idx_win, out_win).then_some(at));
+                let mut indeterminate = false;
+                if let Some(clobbered_by) = clobbered_by {
+                    diagnostics.push(Diagnostic::new(
+                        at,
+                        DiagnosticKind::IndeterminateIndices { clobbered_by },
+                    ));
+                    indeterminate = true;
+                }
+                if step.indices.is_none() {
+                    diagnostics.push(Diagnostic::new(at, DiagnosticKind::MissingIndices));
+                    indeterminate = true;
+                }
+
+                // Earliest runtime failure as (iteration, within-iteration
+                // priority): the index-list read happens at the top of
+                // each 16-lookup window, the index bounds check next, the
+                // output writes last.
+                let mut fail: Option<(u128, u8, DiagnosticKind)> = None;
+                let idx_blocks = cnt.div_ceil(LANES_W);
+                let bad_j = if ib >= b {
+                    Some(0)
+                } else if b - ib < idx_blocks {
+                    Some(b - ib)
+                } else {
+                    None
+                };
+                if let Some(j) = bad_j {
+                    consider(
+                        &mut fail,
+                        j * LANES_W,
+                        0,
+                        DiagnosticKind::OobRead {
+                            what: "index list",
+                            block: sat64(ib.saturating_add(j)),
+                            blocks: mem_blocks,
+                        },
+                    );
+                }
+                if !indeterminate {
+                    let list = step.indices.unwrap_or(&[]);
+                    let scan = (list.len() as u128).min(cnt) as usize;
+                    for (i, &index) in list[..scan].iter().enumerate() {
+                        let last = (table_base as u128)
+                            .saturating_add((index as u128).saturating_mul(vb))
+                            .saturating_add(vb);
+                        if last > b {
+                            consider(
+                                &mut fail,
+                                i as u128,
+                                1,
+                                DiagnosticKind::IndexOutOfRange {
+                                    index,
+                                    block: sat64(last - 1),
+                                    blocks: mem_blocks,
+                                },
+                            );
+                            break;
+                        }
+                    }
+                    if cnt > list.len() as u128 {
+                        // First zero-padded lookup.
+                        let last = (table_base as u128).saturating_add(vb);
+                        if last > b {
+                            consider(
+                                &mut fail,
+                                list.len() as u128,
+                                1,
+                                DiagnosticKind::IndexOutOfRange {
+                                    index: 0,
+                                    block: sat64(last - 1),
+                                    blocks: mem_blocks,
+                                },
+                            );
+                        }
+                    }
+                }
+                // vec_blocks % node_dim == 0 and vec_blocks > 0, so this
+                // DIMM's last owned offset per embedding is:
+                let maxk = vb - nd + tid;
+                let i_wr = first_bad_linear(ob, maxk, vb, b, cnt);
+                if let Some(i) = i_wr {
+                    let base_i = ob.saturating_add(i.saturating_mul(vb));
+                    let k0 = first_bad_owned_k(base_i, b, nd, tid);
+                    consider(
+                        &mut fail,
+                        i,
+                        2,
+                        DiagnosticKind::OobWrite {
+                            what: "output",
+                            block: sat64(base_i.saturating_add(k0)),
+                            blocks: mem_blocks,
+                        },
+                    );
+                }
+                if let Some((.., kind)) = fail {
+                    diagnostics.push(Diagnostic::new(at, kind));
+                }
+
+                if !indeterminate {
+                    // The span of table blocks the staged indices touch.
+                    let list = step.indices.unwrap_or(&[]);
+                    let scan = (list.len() as u128).min(cnt) as usize;
+                    let mut lo = u128::MAX;
+                    let mut hi = 0u128;
+                    for &index in &list[..scan] {
+                        lo = lo.min(index as u128);
+                        hi = hi.max(index as u128);
+                    }
+                    // Lookups past the staged list read index 0.
+                    if cnt > list.len() as u128 {
+                        lo = 0;
+                    }
+                    if lo != u128::MAX {
+                        let t = table_base as u128;
+                        let table_win = (
+                            t.saturating_add(lo.saturating_mul(vb)),
+                            t.saturating_add(hi.saturating_mul(vb)).saturating_add(vb),
+                        );
+                        if let Some((first_block, last_block)) = overlap_range(out_win, table_win) {
+                            diagnostics.push(Diagnostic::new(
+                                at,
+                                DiagnosticKind::ReadWriteOverlap {
+                                    what: "table",
+                                    first_block,
+                                    last_block,
+                                },
+                            ));
+                        }
+                    }
+                }
+                write_windows.push((at, out_win.0, out_win.1));
+            }
+
+            Instruction::Reduce {
+                input1,
+                input2,
+                output_base,
+                count,
+                ..
+            } => {
+                let cnt = count as u128;
+                let mut fail: Option<(u128, u8, DiagnosticKind)> = None;
+                for (prio, base, what, is_write) in [
+                    (0u8, input1, "input1", false),
+                    (1, input2, "input2", false),
+                    (2, output_base, "output", true),
+                ] {
+                    let bb = base as u128;
+                    // The loop variable doubles as the block offset, so
+                    // the first failing offset is the failing iteration.
+                    let bad = first_bad_owned_k(bb, b, nd, tid);
+                    if bad < cnt {
+                        let block = sat64(bb.saturating_add(bad));
+                        let kind = if is_write {
+                            DiagnosticKind::OobWrite {
+                                what,
+                                block,
+                                blocks: mem_blocks,
+                            }
+                        } else {
+                            DiagnosticKind::OobRead {
+                                what,
+                                block,
+                                blocks: mem_blocks,
+                            }
+                        };
+                        consider(&mut fail, bad, prio, kind);
+                    }
+                }
+                if let Some((.., kind)) = fail {
+                    diagnostics.push(Diagnostic::new(at, kind));
+                }
+
+                let in1 = (input1 as u128, input1 as u128 + cnt);
+                let in2 = (input2 as u128, input2 as u128 + cnt);
+                let out_win = (output_base as u128, output_base as u128 + cnt);
+                for (what, win) in [("input1", in1), ("input2", in2)] {
+                    if let Some((first_block, last_block)) = overlap_range(out_win, win) {
+                        diagnostics.push(Diagnostic::new(
+                            at,
+                            DiagnosticKind::ReadWriteOverlap {
+                                what,
+                                first_block,
+                                last_block,
+                            },
+                        ));
+                    }
+                }
+                lint_use_before_def(
+                    &mut diagnostics,
+                    &write_windows,
+                    at,
+                    &[("input1", in1), ("input2", in2)],
+                );
+                write_windows.push((at, out_win.0, out_win.1));
+            }
+
+            Instruction::Average {
+                input_base,
+                output_base,
+                count,
+                group,
+                vec_blocks,
+            } => {
+                let cnt = count as u128;
+                let g = group as u128;
+                let vb = vec_blocks as u128;
+                let ib = input_base as u128;
+                let ob = output_base as u128;
+                let maxk = vb - nd + tid;
+                let stride = g.saturating_mul(vb);
+                // Worst read offset within one output: last group member,
+                // last owned block. Reads of output i all precede its
+                // writes at each owned offset.
+                let read_c = (g - 1).saturating_mul(vb).saturating_add(maxk);
+                let i_r = first_bad_linear(ib, read_c, stride, b, cnt);
+                let i_w = first_bad_linear(ob, maxk, vb, b, cnt);
+                let fail = match (i_r, i_w) {
+                    (None, None) => None,
+                    (Some(i), None) => Some((i, true)),
+                    (None, Some(i)) => Some((i, false)),
+                    (Some(ir), Some(iw)) => {
+                        if ir != iw {
+                            Some(if ir < iw { (ir, true) } else { (iw, false) })
+                        } else {
+                            // Same output iteration: per owned offset the
+                            // group reads precede the write, so the read
+                            // wins ties on the first failing offset.
+                            let a = ib.saturating_add(ir.saturating_mul(stride));
+                            let k_r = first_bad_owned_k(
+                                a.saturating_add((g - 1).saturating_mul(vb)),
+                                b,
+                                nd,
+                                tid,
+                            );
+                            let w = ob.saturating_add(iw.saturating_mul(vb));
+                            let k_w = first_bad_owned_k(w, b, nd, tid);
+                            Some((ir, k_r <= k_w))
+                        }
+                    }
+                };
+                match fail {
+                    Some((i, true)) => {
+                        let a = ib.saturating_add(i.saturating_mul(stride));
+                        let k = first_bad_owned_k(
+                            a.saturating_add((g - 1).saturating_mul(vb)),
+                            b,
+                            nd,
+                            tid,
+                        );
+                        let j0 = if a.saturating_add(k) >= b {
+                            0
+                        } else {
+                            (b - a - k).div_ceil(vb)
+                        };
+                        diagnostics.push(Diagnostic::new(
+                            at,
+                            DiagnosticKind::OobRead {
+                                what: "input",
+                                block: sat64(
+                                    a.saturating_add(j0.saturating_mul(vb)).saturating_add(k),
+                                ),
+                                blocks: mem_blocks,
+                            },
+                        ));
+                    }
+                    Some((i, false)) => {
+                        let w = ob.saturating_add(i.saturating_mul(vb));
+                        let k = first_bad_owned_k(w, b, nd, tid);
+                        diagnostics.push(Diagnostic::new(
+                            at,
+                            DiagnosticKind::OobWrite {
+                                what: "output",
+                                block: sat64(w.saturating_add(k)),
+                                blocks: mem_blocks,
+                            },
+                        ));
+                    }
+                    None => {}
+                }
+
+                let in_win = (ib, ib.saturating_add(cnt.saturating_mul(stride)));
+                let out_win = (ob, ob.saturating_add(cnt.saturating_mul(vb)));
+                if let Some((first_block, last_block)) = overlap_range(out_win, in_win) {
+                    diagnostics.push(Diagnostic::new(
+                        at,
+                        DiagnosticKind::ReadWriteOverlap {
+                            what: "input",
+                            first_block,
+                            last_block,
+                        },
+                    ));
+                }
+                lint_use_before_def(&mut diagnostics, &write_windows, at, &[("input", in_win)]);
+                write_windows.push((at, out_win.0, out_win.1));
+            }
+        }
+    }
+    ProgramReport {
+        diagnostics,
+        summary,
+    }
+}
+
+fn validate_ctx(ctx: DimmContext) -> Result<(), IsaError> {
+    if ctx.node_dim == 0 || ctx.tid >= ctx.node_dim {
+        return Err(IsaError::InvalidContext {
+            node_dim: ctx.node_dim,
+            tid: ctx.tid,
+        });
+    }
+    Ok(())
+}
+
+fn sat64(v: u128) -> u64 {
+    v.min(u64::MAX as u128) as u64
+}
+
+/// Half-open interval overlap (empty intervals overlap nothing).
+fn overlaps(a: (u128, u128), b: (u128, u128)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
+fn overlap_range(a: (u128, u128), b: (u128, u128)) -> Option<(u64, u64)> {
+    let lo = a.0.max(b.0);
+    let hi = a.1.min(b.1);
+    (lo < hi).then(|| (sat64(lo), sat64(hi - 1)))
+}
+
+/// Keep the earliest candidate by (iteration, within-iteration priority).
+fn consider(
+    slot: &mut Option<(u128, u8, DiagnosticKind)>,
+    i: u128,
+    prio: u8,
+    kind: DiagnosticKind,
+) {
+    let better = match slot {
+        None => true,
+        Some((bi, bp, _)) => (i, prio) < (*bi, *bp),
+    };
+    if better {
+        *slot = Some((i, prio, kind));
+    }
+}
+
+/// Smallest owned offset `k = tid + m*node_dim` with `base + k >= b`
+/// (unbounded — callers compare against their own loop limit).
+fn first_bad_owned_k(base: u128, b: u128, nd: u128, tid: u128) -> u128 {
+    if base.saturating_add(tid) >= b {
+        tid
+    } else {
+        tid + (b - base - tid).div_ceil(nd) * nd
+    }
+}
+
+/// Smallest `i < cnt` with `base + i*stride + c >= b`, if any.
+fn first_bad_linear(base: u128, c: u128, stride: u128, b: u128, cnt: u128) -> Option<u128> {
+    if base.saturating_add(c) >= b {
+        return Some(0);
+    }
+    let i = (b - base - c).div_ceil(stride);
+    (i < cnt).then_some(i)
+}
+
+fn lint_use_before_def(
+    diagnostics: &mut Vec<Diagnostic>,
+    write_windows: &[(usize, u128, u128)],
+    at: usize,
+    reads: &[(&'static str, (u128, u128))],
+) {
+    if at == 0 {
+        return;
+    }
+    for &(what, win) in reads {
+        if !write_windows.iter().any(|&(_, s, e)| overlaps(win, (s, e))) {
+            diagnostics.push(Diagnostic::new(
+                at,
+                DiagnosticKind::UseBeforeDef {
+                    what,
+                    first_block: sat64(win.0),
+                    last_block: sat64(win.1.saturating_sub(1)),
+                },
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use tensordimm_isa::{execute_on_dimm, ReduceOp, VecMemory};
+
+    const B: u64 = 4096;
+
+    fn ctx() -> DimmContext {
+        DimmContext::new(4, 1)
+    }
+
+    /// Run `steps` through the executor on a zero-init memory with the
+    /// index lists staged, returning Ok(merged summary), Err(index) on the
+    /// first `Err`, or Err(index) on a panic at that step.
+    fn run(steps: &[ProgramStep<'_>], ctx: DimmContext) -> Result<ExecSummary, usize> {
+        let mut mem = VecMemory::new(B);
+        for step in steps {
+            if let (Instruction::Gather { idx_base, .. }, Some(list)) = (&step.instr, step.indices)
+            {
+                let words: Vec<u32> = list.iter().map(|&v| v as u32).collect();
+                if *idx_base + (words.len() as u64).div_ceil(16) <= B {
+                    mem.write_u32_slice(*idx_base, &words);
+                }
+            }
+        }
+        let mut total = ExecSummary::default();
+        for (i, step) in steps.iter().enumerate() {
+            let got = catch_unwind(AssertUnwindSafe(|| {
+                execute_on_dimm(&step.instr, &mut mem, ctx)
+            }));
+            match got {
+                Ok(Ok(s)) => total.merge(&s),
+                Ok(Err(_)) | Err(_) => return Err(i),
+            }
+        }
+        Ok(total)
+    }
+
+    fn gather(count: u64) -> Instruction {
+        Instruction::Gather {
+            table_base: 0,
+            idx_base: 3000,
+            output_base: 1024,
+            count,
+            vec_blocks: 8,
+        }
+    }
+
+    #[test]
+    fn clean_program_is_accepted_and_summary_matches() {
+        let indices = [5u64, 0, 99, 2, 7, 63];
+        let steps = [
+            ProgramStep::with_indices(gather(6), &indices),
+            ProgramStep::new(Instruction::Reduce {
+                input1: 1024,
+                input2: 1048,
+                output_base: 2048,
+                count: 24,
+                op: ReduceOp::Add,
+            }),
+            ProgramStep::new(Instruction::Average {
+                input_base: 1024,
+                output_base: 2560,
+                count: 2,
+                group: 3,
+                vec_blocks: 8,
+            }),
+        ];
+        let report = analyze_program(&steps, ctx(), B);
+        assert!(report.accepted(), "{:?}", report.diagnostics);
+        assert_eq!(run(&steps, ctx()), Ok(report.summary));
+    }
+
+    #[test]
+    fn index_out_of_range_matches_executor() {
+        let indices = [5u64, 512, 3];
+        let steps = [ProgramStep::with_indices(gather(3), &indices)];
+        let report = analyze_program(&steps, ctx(), B);
+        let first = report.first_error().expect("rejected");
+        assert_eq!(first.instr_index, 0);
+        assert_eq!(
+            first.kind,
+            DiagnosticKind::IndexOutOfRange {
+                index: 512,
+                block: 512 * 8 + 7,
+                blocks: B,
+            }
+        );
+        assert_eq!(run(&steps, ctx()), Err(0));
+    }
+
+    #[test]
+    fn oob_write_detected_where_executor_panics() {
+        let steps = [ProgramStep::with_indices(
+            Instruction::Gather {
+                table_base: 0,
+                idx_base: 3000,
+                output_base: B - 8,
+                count: 4,
+                vec_blocks: 8,
+            },
+            &[1, 1, 1, 1],
+        )];
+        let report = analyze_program(&steps, ctx(), B);
+        assert!(matches!(
+            report.first_error().unwrap().kind,
+            DiagnosticKind::OobWrite { what: "output", .. }
+        ));
+        assert_eq!(run(&steps, ctx()), Err(0));
+    }
+
+    #[test]
+    fn reduce_oob_read_ordering() {
+        // input2 runs off the end before output does.
+        let r = Instruction::Reduce {
+            input1: 0,
+            input2: B - 8,
+            output_base: 1024,
+            count: 16,
+            op: ReduceOp::Add,
+        };
+        let steps = [ProgramStep::new(r)];
+        let report = analyze_program(&steps, ctx(), B);
+        assert!(matches!(
+            report.first_error().unwrap().kind,
+            DiagnosticKind::OobRead { what: "input2", .. }
+        ));
+        assert_eq!(run(&steps, ctx()), Err(0));
+    }
+
+    #[test]
+    fn average_oob_read_detected() {
+        let a = Instruction::Average {
+            input_base: B - 32,
+            output_base: 0,
+            count: 2,
+            group: 4,
+            vec_blocks: 8,
+        };
+        let steps = [ProgramStep::new(a)];
+        let report = analyze_program(&steps, ctx(), B);
+        assert!(matches!(
+            report.first_error().unwrap().kind,
+            DiagnosticKind::OobRead { what: "input", .. }
+        ));
+        assert_eq!(run(&steps, ctx()), Err(0));
+    }
+
+    #[test]
+    fn malformed_instruction_reported_at_its_index() {
+        let indices = [1u64, 2];
+        let bad = Instruction::Gather {
+            table_base: 1, // misaligned for node_dim = 4
+            idx_base: 3000,
+            output_base: 1024,
+            count: 2,
+            vec_blocks: 8,
+        };
+        let steps = [
+            ProgramStep::with_indices(gather(2), &indices),
+            ProgramStep::with_indices(bad, &indices),
+        ];
+        let report = analyze_program(&steps, ctx(), B);
+        let first = report.first_error().unwrap();
+        assert_eq!(first.instr_index, 1);
+        assert!(matches!(first.kind, DiagnosticKind::Malformed(_)));
+        assert_eq!(run(&steps, ctx()), Err(1));
+    }
+
+    #[test]
+    fn missing_indices_is_indeterminate() {
+        let report = analyze_program(&[ProgramStep::new(gather(4))], ctx(), B);
+        assert!(!report.accepted());
+        assert!(report.indeterminate());
+    }
+
+    #[test]
+    fn clobbered_index_list_is_indeterminate() {
+        let indices = [1u64];
+        let steps = [
+            ProgramStep::new(Instruction::Reduce {
+                input1: 0,
+                input2: 8,
+                output_base: 3000, // lands on the gather's index list
+                count: 8,
+                op: ReduceOp::Add,
+            }),
+            ProgramStep::with_indices(gather(1), &indices),
+        ];
+        let report = analyze_program(&steps, ctx(), B);
+        assert!(report.indeterminate());
+        assert_eq!(
+            report.first_error().unwrap().kind,
+            DiagnosticKind::IndeterminateIndices { clobbered_by: 0 }
+        );
+    }
+
+    #[test]
+    fn self_clobbering_gather_is_indeterminate() {
+        let indices = [1u64, 2, 3];
+        let g = Instruction::Gather {
+            table_base: 0,
+            idx_base: 1028, // inside its own output window
+            output_base: 1024,
+            count: 3,
+            vec_blocks: 8,
+        };
+        let report = analyze_program(&[ProgramStep::with_indices(g, &indices)], ctx(), B);
+        assert_eq!(
+            report.first_error().unwrap().kind,
+            DiagnosticKind::IndeterminateIndices { clobbered_by: 0 }
+        );
+    }
+
+    #[test]
+    fn overlap_and_use_before_def_are_nonfatal() {
+        let steps = [
+            ProgramStep::new(Instruction::Reduce {
+                input1: 0,
+                input2: 64,
+                output_base: 32, // overlaps input1's window [0, 64)
+                count: 64,
+                op: ReduceOp::Add,
+            }),
+            ProgramStep::new(Instruction::Reduce {
+                input1: 2048, // never written by this program
+                input2: 32,   // defined by step 0
+                output_base: 2560,
+                count: 64,
+                op: ReduceOp::Add,
+            }),
+        ];
+        let report = analyze_program(&steps, ctx(), B);
+        assert!(report.accepted());
+        assert!(report.diagnostics.iter().any(|d| {
+            d.instr_index == 0
+                && d.severity == Severity::Warning
+                && matches!(
+                    d.kind,
+                    DiagnosticKind::ReadWriteOverlap { what: "input1", .. }
+                )
+        }));
+        assert!(report.diagnostics.iter().any(|d| {
+            d.instr_index == 1
+                && d.severity == Severity::Info
+                && matches!(d.kind, DiagnosticKind::UseBeforeDef { what: "input1", .. })
+        }));
+        assert_eq!(run(&steps, ctx()), Ok(report.summary));
+    }
+
+    #[test]
+    fn static_summary_matches_executor_per_opcode() {
+        let mut mem = VecMemory::new(B);
+        mem.write_u32_slice(3000, &[9, 4, 1, 1, 0, 2, 8]);
+        for instr in [
+            gather(7),
+            Instruction::Reduce {
+                input1: 0,
+                input2: 512,
+                output_base: 2048,
+                count: 32,
+                op: ReduceOp::Mul,
+            },
+            Instruction::Average {
+                input_base: 0,
+                output_base: 2048,
+                count: 3,
+                group: 5,
+                vec_blocks: 8,
+            },
+        ] {
+            for tid in 0..4 {
+                let c = DimmContext::new(4, tid);
+                let want = execute_on_dimm(&instr, &mut mem, c).unwrap();
+                assert_eq!(
+                    static_summary(&instr, c).unwrap(),
+                    want,
+                    "{instr} tid {tid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_context_rejects_everything() {
+        let report = analyze_program(&[ProgramStep::new(gather(1))], DimmContext::new(0, 0), 64);
+        assert!(matches!(
+            report.first_error().unwrap().kind,
+            DiagnosticKind::Malformed(IsaError::InvalidContext { .. })
+        ));
+    }
+}

@@ -391,7 +391,7 @@ impl NmpCore {
         }
 
         let stats = memory.stats();
-        Ok(NmpRunStats {
+        let stats = NmpRunStats {
             cycles: memory.cycle(),
             reads: stats.totals.reads,
             writes: stats.totals.writes,
@@ -400,7 +400,55 @@ impl NmpCore {
             output_wait_cycles,
             hot_rows: cache.map(|c| c.stats()).unwrap_or_default(),
             memory: stats,
-        })
+        };
+        if self.config.verify {
+            self.verify_run(plan, ctx, &stats)?;
+        }
+        Ok(stats)
+    }
+
+    /// Cross-check a finished replay against the static analyzer: the
+    /// DRAM request counts must match its prediction exactly and the
+    /// cycle count must dominate the physical lower bound. Runs only in
+    /// verify mode, after timing completes — the replay itself is
+    /// untouched.
+    fn verify_run(
+        &self,
+        plan: &AccessPlan,
+        ctx: DimmContext,
+        stats: &NmpRunStats,
+    ) -> Result<(), NmpError> {
+        let analysis = match tensordimm_analysis::analyze_plan(
+            plan,
+            ctx,
+            &self.config.dram,
+            self.config.hot_rows,
+        ) {
+            Ok(a) => a,
+            Err(tensordimm_analysis::AnalysisError::Isa(e)) => return Err(NmpError::Isa(e)),
+            Err(tensordimm_analysis::AnalysisError::Dram(e)) => return Err(NmpError::Dram(e)),
+            Err(tensordimm_analysis::AnalysisError::Cache(e)) => return Err(NmpError::Cache(e)),
+        };
+        if analysis.dram_reads != stats.reads || analysis.dram_writes != stats.writes {
+            return Err(NmpError::Verify(
+                tensordimm_analysis::VerifyFailure::PlanMismatch {
+                    expected_reads: analysis.dram_reads,
+                    expected_writes: analysis.dram_writes,
+                    actual_reads: stats.reads,
+                    actual_writes: stats.writes,
+                },
+            ));
+        }
+        let lower_bound = analysis.lower_bound();
+        if stats.cycles < lower_bound {
+            return Err(NmpError::Verify(
+                tensordimm_analysis::VerifyFailure::BoundExceeded {
+                    lower_bound,
+                    cycles: stats.cycles,
+                },
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -559,6 +607,75 @@ mod tests {
         let mut cfg = NmpConfig::paper();
         cfg.hot_rows = HotRowCacheConfig::set_associative(48, 4); // 12 sets
         assert!(matches!(NmpCore::new(cfg), Err(NmpError::Cache(_))));
+    }
+
+    /// Verify mode re-derives the replay's DRAM traffic and cycle lower
+    /// bound statically; it must pass on every opcode and change nothing
+    /// in the reported stats (the check runs after timing completes).
+    #[test]
+    fn verify_mode_is_bit_identical_and_passes() {
+        let indices: Vec<u64> = (0..256).map(|i| (i * 37) % 1024).collect();
+        let ctx = DimmContext::new(32, 3);
+        let programs: Vec<(Instruction, Option<&[u64]>)> = vec![
+            (
+                Instruction::Gather {
+                    table_base: 0,
+                    idx_base: 1 << 22,
+                    output_base: 1 << 23,
+                    count: indices.len() as u64,
+                    vec_blocks: 32,
+                },
+                Some(&indices),
+            ),
+            (reduce(32 * 1024), None),
+            (
+                Instruction::Average {
+                    input_base: 0,
+                    output_base: 1 << 22,
+                    count: 64,
+                    group: 8,
+                    vec_blocks: 32,
+                },
+                None,
+            ),
+        ];
+        for refresh in [false, true] {
+            for (instr, idx) in &programs {
+                let mut cfg = NmpConfig::paper();
+                cfg.dram.refresh_enabled = refresh;
+                let mut plain = NmpCore::new(cfg.clone()).unwrap();
+                cfg.verify = true;
+                let mut checked = NmpCore::new(cfg).unwrap();
+                let a = plain.run_instruction(instr, ctx, *idx).unwrap();
+                let b = checked.run_instruction(instr, ctx, *idx).unwrap();
+                assert_eq!(a, b, "verify mode perturbed {instr:?}");
+            }
+        }
+    }
+
+    /// Verify mode also holds with the hot-row SRAM tier enabled — the
+    /// analyzer mirrors the cache's hit/skip bookkeeping exactly.
+    #[test]
+    fn verify_mode_passes_with_hot_row_cache() {
+        use tensordimm_cache::HotRowCacheConfig;
+        let indices: Vec<u64> = (0..256).map(|i| (i * 37) % 16).collect();
+        let g = Instruction::Gather {
+            table_base: 0,
+            idx_base: 1 << 22,
+            output_base: 1 << 23,
+            count: indices.len() as u64,
+            vec_blocks: 32,
+        };
+        let mut cfg = NmpConfig::paper();
+        cfg.hot_rows = HotRowCacheConfig::fully_associative(16);
+        let mut plain = NmpCore::new(cfg.clone()).unwrap();
+        cfg.verify = true;
+        let mut checked = NmpCore::new(cfg).unwrap();
+        let ctx = DimmContext::new(32, 3);
+        let a = plain.run_instruction(&g, ctx, Some(&indices)).unwrap();
+        let b = checked.run_instruction(&g, ctx, Some(&indices)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.hot_rows.hits, 256 - 16);
     }
 
     #[test]

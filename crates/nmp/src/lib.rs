@@ -74,6 +74,13 @@ pub struct NmpConfig {
     /// (disabled by default: the paper's TensorDIMM has no such tier —
     /// RecNMP-style hot-entry caching is an opt-in extension).
     pub hot_rows: tensordimm_cache::HotRowCacheConfig,
+    /// Cross-check every `run_plan` replay against the static analyzer
+    /// (`tensordimm_analysis`): the replayed DRAM request counts must
+    /// match the statically predicted ones and the cycle count must
+    /// dominate the physical lower bound. Off by default — the check runs
+    /// after timing completes, so disabling it is bit-identical and adds
+    /// zero hot-path work; tests and CI turn it on.
+    pub verify: bool,
 }
 
 impl NmpConfig {
@@ -87,6 +94,7 @@ impl NmpConfig {
             input_queue_bytes: 512,
             output_queue_bytes: 512,
             hot_rows: tensordimm_cache::HotRowCacheConfig::disabled(),
+            verify: false,
         }
     }
 
@@ -127,6 +135,9 @@ pub enum NmpError {
         /// Offending capacity in bytes.
         bytes: usize,
     },
+    /// Verify mode found the replay and the static analyzer in
+    /// disagreement (see [`NmpConfig::verify`]).
+    Verify(tensordimm_analysis::VerifyFailure),
 }
 
 impl fmt::Display for NmpError {
@@ -138,6 +149,7 @@ impl fmt::Display for NmpError {
             NmpError::QueueTooSmall { bytes } => {
                 write!(f, "SRAM queue of {bytes} bytes cannot hold a 64-byte entry")
             }
+            NmpError::Verify(e) => write!(f, "verify mode: {e}"),
         }
     }
 }
@@ -149,7 +161,14 @@ impl Error for NmpError {
             NmpError::Isa(e) => Some(e),
             NmpError::Cache(e) => Some(e),
             NmpError::QueueTooSmall { .. } => None,
+            NmpError::Verify(e) => Some(e),
         }
+    }
+}
+
+impl From<tensordimm_analysis::VerifyFailure> for NmpError {
+    fn from(e: tensordimm_analysis::VerifyFailure) -> Self {
+        NmpError::Verify(e)
     }
 }
 

@@ -331,6 +331,44 @@ impl CyclePricerConfig {
             max_replayed_lookups: 2000,
         }
     }
+
+    /// The exact gather this configuration replays for `(workload, batch)`
+    /// at Zipf skew `zipf_s`: the lowered instruction, its runtime index
+    /// list and the per-DIMM context. This *is* the trace
+    /// [`CyclePricer`] measures — exposed so static-analysis gates
+    /// (`sweep_static_check`) can verify and lower-bound the same plan the
+    /// pricer prices, without re-deriving the lowering recipe.
+    pub fn lowered_gather(
+        &self,
+        zipf_s: f64,
+        workload: &Workload,
+        batch: usize,
+    ) -> (Instruction, Vec<u64>, DimmContext) {
+        let dimms = self.dimms.max(1);
+        let vec_blocks = workload.embedding_bytes().div_ceil(64);
+        // Whole-stripe padding, as the node's allocator provisions.
+        let vb = vec_blocks.div_ceil(dimms) * dimms;
+        // `.max(1)` guards a zero cap (and a zero-lookup workload): the
+        // measurement always replays at least one gather.
+        let lookups = (batch.max(1) as u64 * workload.lookups_per_sample())
+            .min(self.max_replayed_lookups as u64)
+            .max(1);
+        let rows = workload.rows_per_table.max(1);
+        // Deterministic per batch shape: the trace is part of the key.
+        let seed = 0xc1c1e ^ (batch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ rows;
+        let indices = zipf_lookup_rows(lookups as usize, rows, zipf_s, seed);
+        // Distinct stripe-aligned operand regions (block addresses); the
+        // NMP-local address map folds them into DIMM capacity.
+        let region = (rows.max(lookups) + 1) * vb;
+        let instr = Instruction::Gather {
+            table_base: 0,
+            idx_base: 3 * region,
+            output_base: region,
+            count: lookups,
+            vec_blocks: vb,
+        };
+        (instr, indices, DimmContext::new(dimms, 0))
+    }
 }
 
 impl Default for CyclePricerConfig {
@@ -640,29 +678,7 @@ impl<'a> CyclePricer<'a> {
         batch: usize,
     ) -> CycleMeasure {
         let dimms = config.dimms.max(1);
-        let vec_blocks = workload.embedding_bytes().div_ceil(64);
-        // Whole-stripe padding, as the node's allocator provisions.
-        let vb = vec_blocks.div_ceil(dimms) * dimms;
-        // `.max(1)` guards a zero cap (and a zero-lookup workload): the
-        // measurement always replays at least one gather.
-        let lookups = (batch.max(1) as u64 * workload.lookups_per_sample())
-            .min(config.max_replayed_lookups as u64)
-            .max(1);
-        let rows = workload.rows_per_table.max(1);
-        // Deterministic per batch shape: the trace is part of the key.
-        let seed = 0xc1c1e ^ (batch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ rows;
-        let indices = zipf_lookup_rows(lookups as usize, rows, model.config().zipf_s, seed);
-        // Distinct stripe-aligned operand regions (block addresses); the
-        // NMP-local address map folds them into DIMM capacity.
-        let region = (rows.max(lookups) + 1) * vb;
-        let instr = Instruction::Gather {
-            table_base: 0,
-            idx_base: 3 * region,
-            output_base: region,
-            count: lookups,
-            vec_blocks: vb,
-        };
-        let ctx = DimmContext::new(dimms, 0);
+        let (instr, indices, ctx) = config.lowered_gather(model.config().zipf_s, workload, batch);
         let plan = AccessPlan::for_dimm(&instr, ctx, Some(&indices))
             .expect("generated gather plan is valid");
         let mut core = NmpCore::new(config.nmp.clone()).expect("pricer NMP config is valid");

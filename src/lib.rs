@@ -26,7 +26,11 @@
 //!   for degraded-mode availability studies,
 //! * [`exec`] — deterministic scoped worker-pool helpers behind the
 //!   parallel sweep/pricer/DRAM-channel paths (results bit-identical to
-//!   sequential execution).
+//!   sequential execution),
+//! * [`analysis`] — static TensorISA verifier (abstract interpretation
+//!   over instruction programs) and access-plan analyzer (bank/rank
+//!   conflict estimates, physical cycle lower bounds, access-pattern
+//!   lints) that gate the replay engine in verify mode.
 //!
 //! # Quickstart
 //!
@@ -55,6 +59,7 @@
 //! `crates/bench` for the binaries regenerating every table and figure of
 //! the paper.
 
+pub use tensordimm_analysis as analysis;
 pub use tensordimm_cache as cache;
 pub use tensordimm_core as core;
 pub use tensordimm_dram as dram;

@@ -9,6 +9,11 @@
 //! (plus derived throughput) to stdout — no statistics, plots, or saved
 //! baselines.
 
+// Vendored stand-ins opt out of the workspace [lints] table (their
+// public API intentionally omits Debug impls the real crates have)
+// but still refuse unsafe code outright.
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -13,6 +13,11 @@
 //!   failures reproduce bit-exactly on every machine with no
 //!   `proptest-regressions/` persistence files.
 
+// Vendored stand-ins opt out of the workspace [lints] table (their
+// public API intentionally omits Debug impls the real crates have)
+// but still refuse unsafe code outright.
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

@@ -7,6 +7,11 @@
 //! xoshiro256++, which is more than adequate for the simulator's traffic
 //! synthesis and property tests. Streams are deterministic per seed.
 
+// Vendored stand-ins opt out of the workspace [lints] table (their
+// public API intentionally omits Debug impls the real crates have)
+// but still refuse unsafe code outright.
+#![forbid(unsafe_code)]
+
 /// A source of random 64-bit words.
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;

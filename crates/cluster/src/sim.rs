@@ -1,0 +1,1094 @@
+//! The cluster-level fan-out/rejoin simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use tensordimm_exec::par_map;
+use tensordimm_faults::FaultPlan;
+use tensordimm_models::Workload;
+use tensordimm_serving::{
+    simulate, zipf_lookup_rows, AdmissionPolicy, BatchPolicy, LatencySummary, OutcomeCounts,
+    RequestOutcome, RetryPolicy, SimConfig, SimError, SimReport,
+};
+use tensordimm_system::{DesignPoint, PricingBackend, SystemModel};
+
+use crate::placement::{mix, ShardId, ShardPlan};
+
+/// Errors from configuring or running the cluster simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// A cluster-level knob is unusable.
+    InvalidConfig {
+        /// Which knob.
+        parameter: &'static str,
+    },
+    /// A per-shard run failed (bad per-node plan, unsorted trace, pricing).
+    Shard(SimError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidConfig { parameter } => {
+                write!(f, "cluster parameter {parameter} is unusable")
+            }
+            ClusterError::Shard(e) => write!(f, "per-shard simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+impl From<SimError> for ClusterError {
+    fn from(e: SimError) -> Self {
+        ClusterError::Shard(e)
+    }
+}
+
+impl From<tensordimm_faults::FaultError> for ClusterError {
+    fn from(e: tensordimm_faults::FaultError) -> Self {
+        ClusterError::Shard(SimError::from(e))
+    }
+}
+
+/// One TensorNode in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSpec {
+    /// DIMMs provisioned — slices the node's aggregate gather bandwidth
+    /// via [`SystemModel::with_node_dimms`], so heterogeneous clusters
+    /// price capacity honestly.
+    pub dimms: u64,
+    /// GPUs pulling batches on this node.
+    pub gpus: usize,
+    /// The node's own seeded fault plan ([`FaultPlan::none`] = healthy).
+    pub faults: FaultPlan,
+}
+
+impl NodeSpec {
+    /// The paper's Table 1 node: 32 DIMMs, `gpus` GPUs, no faults.
+    pub fn paper(gpus: usize) -> Self {
+        NodeSpec {
+            dimms: SystemModel::PAPER_NODE_DIMMS,
+            gpus,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Attach a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// How the router treats shards that are dead or inside a repair window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailoverPolicy {
+    /// Static routing: every row goes to its primary owner, dead or not
+    /// (a sub-request aimed at a dead node is shed at the router). The
+    /// inert baseline the decomposition gate runs under.
+    None,
+    /// Reroute around dead nodes: a row whose chosen owner is dead goes
+    /// to its first live replica instead. The replicas absorb the dead
+    /// shard's Zipf-hot load — the induced hotspot is part of the model.
+    #[default]
+    Reroute,
+    /// [`FailoverPolicy::Reroute`], plus SLA-aware hedging: a sub-request
+    /// aimed at a *degraded* node (ranks down or gray, inside its repair
+    /// window) is duplicated onto a live replica; the rejoin takes
+    /// whichever copy finishes first.
+    HedgeDegraded,
+}
+
+/// Cluster simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Row-to-node placement and replication.
+    pub plan: ShardPlan,
+    /// One spec per node; `nodes.len()` must equal `plan.nodes()`.
+    pub nodes: Vec<NodeSpec>,
+    /// Design point every shard serves with.
+    pub design: DesignPoint,
+    /// Per-shard dynamic-batching policy.
+    pub policy: BatchPolicy,
+    /// Per-shard batch-pricing backend.
+    pub pricing: PricingBackend,
+    /// Per-shard deadline / retry / hedging policy.
+    pub retry: RetryPolicy,
+    /// Per-shard admission control.
+    pub admission: AdmissionPolicy,
+    /// Router behavior around dead/degraded shards.
+    pub failover: FailoverPolicy,
+    /// Optional virtual-time cutoff, µs (same semantics as the per-node
+    /// simulator: later arrivals never arrive; queued work is left in
+    /// flight for conservation accounting).
+    pub horizon_us: Option<f64>,
+    /// Popularity skew of the per-request row sample.
+    pub zipf_s: f64,
+    /// Rows sampled per request to decide its fan-out. The sub-request a
+    /// shard receives is priced as one full workload sample regardless —
+    /// a deliberately conservative approximation (each touched shard
+    /// gathers a full sample's worth of embeddings).
+    pub routing_lookups: usize,
+    /// Seed of the per-request row sampler.
+    pub lookup_seed: u64,
+    /// Worker threads fanning the per-shard runs (results are
+    /// bit-identical at any count).
+    pub workers: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster of `nodes` with the given plan: analytic pricing, inert
+    /// policies, rerouting failover, paper-default skew, no horizon.
+    pub fn new(
+        plan: ShardPlan,
+        nodes: Vec<NodeSpec>,
+        design: DesignPoint,
+        policy: BatchPolicy,
+    ) -> Self {
+        ClusterConfig {
+            plan,
+            nodes,
+            design,
+            policy,
+            pricing: PricingBackend::Analytic,
+            retry: RetryPolicy::none(),
+            admission: AdmissionPolicy::unbounded(),
+            failover: FailoverPolicy::Reroute,
+            horizon_us: None,
+            zipf_s: 0.9,
+            routing_lookups: 16,
+            lookup_seed: 0x7e50,
+            workers: 1,
+        }
+    }
+
+    /// Serve with this per-shard retry/deadline/hedging policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Gate per-shard arrivals through this admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Route around failures with this policy.
+    pub fn with_failover(mut self, failover: FailoverPolicy) -> Self {
+        self.failover = failover;
+        self
+    }
+
+    /// Stop the virtual clock at `horizon_us`.
+    pub fn with_horizon(mut self, horizon_us: f64) -> Self {
+        self.horizon_us = Some(horizon_us);
+        self
+    }
+
+    /// Select the per-shard batch-pricing backend.
+    pub fn with_pricing(mut self, pricing: PricingBackend) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Fan the per-shard runs across `workers` threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sample `routing_lookups` rows per request at skew `zipf_s` under
+    /// `lookup_seed`.
+    pub fn with_lookups(mut self, routing_lookups: usize, zipf_s: f64, lookup_seed: u64) -> Self {
+        self.routing_lookups = routing_lookups;
+        self.zipf_s = zipf_s;
+        self.lookup_seed = lookup_seed;
+        self
+    }
+
+    fn validate(&self) -> Result<(), ClusterError> {
+        let bad = |parameter| Err(ClusterError::InvalidConfig { parameter });
+        if self.nodes.is_empty() || self.nodes.len() != self.plan.nodes() {
+            return bad("nodes.len");
+        }
+        for node in &self.nodes {
+            if node.dimms == 0 {
+                return bad("node.dimms");
+            }
+            if node.gpus == 0 {
+                return bad("node.gpus");
+            }
+        }
+        if !self.zipf_s.is_finite() || self.zipf_s < 0.0 {
+            return bad("zipf_s");
+        }
+        if self.routing_lookups == 0 {
+            return bad("routing_lookups");
+        }
+        if self.workers == 0 {
+            return bad("workers");
+        }
+        Ok(())
+    }
+}
+
+/// The `SimConfig` shard `node` runs under — exposed so the inert-
+/// decomposition gate can reproduce a shard's run independently.
+pub fn shard_sim_config(cfg: &ClusterConfig, node: usize) -> SimConfig {
+    let spec = &cfg.nodes[node];
+    let mut sim = SimConfig::new(cfg.design, spec.gpus, cfg.policy)
+        .with_pricing(cfg.pricing)
+        .with_faults(spec.faults)
+        .with_retry(cfg.retry)
+        .with_admission(cfg.admission);
+    if let Some(h) = cfg.horizon_us {
+        sim = sim.with_horizon(h);
+    }
+    sim
+}
+
+/// The model shard `node` prices against: the shared model with its node
+/// peak sliced to the node's DIMM count.
+fn shard_model(model: &SystemModel, cfg: &ClusterConfig, node: usize) -> SystemModel {
+    model.clone().with_node_dimms(cfg.nodes[node].dimms)
+}
+
+/// A node's liveness over virtual time, folded from its fault schedule.
+/// Half-open windows `[start, end)`, matching the serving engine's
+/// same-instant order (fault transitions apply before arrivals).
+#[derive(Debug, Clone, Default)]
+struct NodeHealth {
+    /// Node cannot dispatch at all: node outage or every DIMM down.
+    dead: Vec<(f64, f64)>,
+    /// Node serves but is degraded: ranks down or a gray window open.
+    degraded: Vec<(f64, f64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    Healthy,
+    Degraded,
+    Dead,
+}
+
+impl NodeHealth {
+    fn from_plan(plan: &FaultPlan, horizon_us: f64) -> Result<Self, ClusterError> {
+        let mut health = NodeHealth::default();
+        if plan.is_inert() {
+            return Ok(health);
+        }
+        let transitions = plan.schedule(horizon_us)?.transitions();
+        let mut state = tensordimm_faults::FaultState::healthy(plan.dimms);
+        let classify = |s: &tensordimm_faults::FaultState| {
+            if !s.can_dispatch() {
+                Health::Dead
+            } else if s.dimms_alive() < s.dimms_total() || s.gray_multiplier() > 1.0 {
+                Health::Degraded
+            } else {
+                Health::Healthy
+            }
+        };
+        let mut cur = classify(&state);
+        let mut cur_start = 0.0f64;
+        let push = |h: Health, start: f64, end: f64, me: &mut NodeHealth| {
+            if end <= start {
+                return;
+            }
+            let list = match h {
+                Health::Dead => &mut me.dead,
+                Health::Degraded => &mut me.degraded,
+                Health::Healthy => return,
+            };
+            match list.last_mut() {
+                Some(last) if last.1 >= start => last.1 = last.1.max(end),
+                _ => list.push((start, end)),
+            }
+        };
+        for t in &transitions {
+            // RowFault transitions don't change liveness; applying them
+            // is harmless (pending rows never reach `classify`).
+            let next_time = t.at_us;
+            state.apply(t.change);
+            // Same-instant transitions collapse: the interval is empty.
+            let next = classify(&state);
+            if next != cur {
+                push(cur, cur_start, next_time, &mut health);
+                cur = next;
+                cur_start = next_time;
+            }
+        }
+        push(cur, cur_start, f64::INFINITY, &mut health);
+        Ok(health)
+    }
+
+    fn dead_at(&self, t: f64) -> bool {
+        in_windows(&self.dead, t)
+    }
+
+    fn degraded_at(&self, t: f64) -> bool {
+        in_windows(&self.degraded, t)
+    }
+}
+
+fn in_windows(windows: &[(f64, f64)], t: f64) -> bool {
+    let i = windows.partition_point(|w| w.1 <= t);
+    windows.get(i).is_some_and(|w| w.0 <= t)
+}
+
+/// One leg of a fanned-out request: the rows a primary shard serves,
+/// with an optional hedged duplicate on a replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Leg {
+    primary: ShardId,
+    hedge: Option<ShardId>,
+}
+
+/// Where a request was routed.
+#[derive(Debug, Clone, Default)]
+struct Route {
+    legs: Vec<Leg>,
+    router_shed: bool,
+    rerouted: bool,
+}
+
+/// Cluster-wide routing statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RoutingStats {
+    /// Sub-requests dispatched to shards (hedges included).
+    pub subrequests: usize,
+    /// Hedged duplicate sub-requests.
+    pub hedge_subrequests: usize,
+    /// Requests with at least one row rerouted off its primary.
+    pub rerouted_requests: usize,
+    /// Requests shed at the router (no live owner for some row).
+    pub router_shed: usize,
+    /// Hot rows served by a shard the request already fans out to
+    /// (HotColdSplit's fan-out-narrowing affinity).
+    pub affinity_hits: usize,
+    /// Mean distinct primary shards per routed request.
+    pub mean_fanout: f64,
+}
+
+/// Per-request rejoined outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterRecord {
+    /// When the request arrived, µs.
+    pub arrival_us: f64,
+    /// Rejoined fate; `None` when the horizon cut the arrival off.
+    pub outcome: Option<RequestOutcome>,
+    /// When the *slowest* leg finished (max-of-shards), µs.
+    pub finish_us: Option<f64>,
+    /// Distinct primary shards fanned out to.
+    pub fanout: usize,
+    /// Whether any row was rerouted off its primary owner.
+    pub rerouted: bool,
+    /// Whether any leg carried a hedged duplicate.
+    pub hedged: bool,
+}
+
+impl ClusterRecord {
+    /// End-to-end latency (arrival to slowest leg), µs.
+    pub fn latency_us(&self) -> Option<f64> {
+        match (self.outcome, self.finish_us) {
+            (Some(RequestOutcome::Completed), Some(f)) => Some(f - self.arrival_us),
+            _ => None,
+        }
+    }
+
+    /// Whether the request completed within `sla_us` of arrival.
+    pub fn completed_within(&self, sla_us: f64) -> bool {
+        self.latency_us().is_some_and(|l| l <= sla_us)
+    }
+}
+
+/// One shard's share of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutcome {
+    /// Which node.
+    pub node: usize,
+    /// Sub-requests in the shard's trace.
+    pub subrequests: usize,
+    /// The per-node engine's full report for the sub-trace.
+    pub report: SimReport,
+}
+
+/// What a cluster run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Requests in the input trace.
+    pub offered: usize,
+    /// Requests whose arrival fell inside the simulated window.
+    pub arrived: usize,
+    /// Requests whose every leg completed.
+    pub completed: usize,
+    /// Where every arrived request ended up (rejoined, not per-shard).
+    pub outcomes: OutcomeCounts,
+    /// Rejoined end-to-end latency summary (max-of-shards per request).
+    pub latency: LatencySummary,
+    /// Fraction of arrived requests completed within [`sla_us`](Self::sla_us).
+    pub availability: f64,
+    /// The SLA judged against (the retry policy's deadline, `∞` if none).
+    pub sla_us: f64,
+    /// End of the run, µs: the latest shard's `end_us`.
+    pub end_us: f64,
+    /// Completed requests per second of virtual time.
+    pub throughput_qps: f64,
+    /// Requests completed within the SLA per second of virtual time.
+    pub goodput_qps: f64,
+    /// Fraction of arrived requests shed (router + shards).
+    pub shed_rate: f64,
+    /// Router statistics.
+    pub routing: RoutingStats,
+    /// Per-request rejoined records, indexed like the arrival trace.
+    pub records: Vec<ClusterRecord>,
+    /// Every shard's sub-trace size and full per-node report.
+    pub shards: Vec<ShardOutcome>,
+}
+
+impl ClusterReport {
+    /// Requests whose arrival the horizon cut off.
+    pub fn not_arrived(&self) -> usize {
+        self.offered - self.arrived
+    }
+
+    /// Cluster-level flow conservation: every offered request resolves
+    /// exactly once after the rejoin, the typed counts agree with the
+    /// flat counters, and every per-shard report conserves too.
+    pub fn is_conserved(&self) -> bool {
+        self.outcomes.is_conserved(self.arrived)
+            && self.outcomes.completed == self.completed
+            && self.arrived + self.not_arrived() == self.offered
+            && self.shards.iter().all(|s| s.report.is_conserved())
+    }
+
+    /// Fraction of arrived requests whose slowest leg finished within
+    /// `sla_us` (`1.0` with no arrivals; `0.0` at an all-shed point —
+    /// same contract as the per-node report).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a NaN `sla_us`.
+    pub fn availability_at(&self, sla_us: f64) -> f64 {
+        assert!(!sla_us.is_nan(), "availability_at: NaN SLA");
+        if self.arrived == 0 {
+            return 1.0;
+        }
+        let within = self
+            .records
+            .iter()
+            .filter(|r| r.completed_within(sla_us))
+            .count();
+        within as f64 / self.arrived as f64
+    }
+}
+
+/// Route every request: sample its rows, pick an owner per row, group
+/// rows into per-shard legs, attach hedges.
+fn route_requests(
+    cfg: &ClusterConfig,
+    rows_per_table: u64,
+    arrivals_us: &[f64],
+    health: &[NodeHealth],
+) -> (Vec<Route>, RoutingStats) {
+    let mut routes = Vec::with_capacity(arrivals_us.len());
+    let mut stats = RoutingStats::default();
+    let mut routed_requests = 0usize;
+    let mut fanout_sum = 0usize;
+    for (id, &t) in arrivals_us.iter().enumerate() {
+        let mut rows = zipf_lookup_rows(
+            cfg.routing_lookups,
+            rows_per_table,
+            cfg.zipf_s,
+            cfg.lookup_seed ^ mix(id as u64),
+        );
+        rows.sort_unstable();
+        rows.dedup();
+        // One deterministic per-request draw spreads hot-row load across
+        // replicas without widening the fan-out per row.
+        let spread = mix(cfg.lookup_seed ^ mix(id as u64 ^ 0x10d7));
+        let mut route = Route::default();
+        let mut primaries: Vec<ShardId> = Vec::new();
+        let mut hedges: Vec<(ShardId, ShardId)> = Vec::new();
+        // Cold rows first (descending ids): their placement is forced,
+        // so the hot head's affinity check sees the full cold target set
+        // and can narrow the fan-out instead of widening it.
+        'rows: for &row in rows.iter().rev() {
+            let owners = cfg.plan.owners(row);
+            let target = match cfg.failover {
+                FailoverPolicy::None => {
+                    let primary = owners[0];
+                    if health[primary].dead_at(t) {
+                        route.router_shed = true;
+                        break 'rows;
+                    }
+                    primary
+                }
+                FailoverPolicy::Reroute | FailoverPolicy::HedgeDegraded => {
+                    let live: Vec<ShardId> = owners
+                        .iter()
+                        .copied()
+                        .filter(|&o| !health[o].dead_at(t))
+                        .collect();
+                    if live.is_empty() {
+                        route.router_shed = true;
+                        break 'rows;
+                    }
+                    let chosen = if cfg.plan.is_hot(row) {
+                        // Affinity first: serve the hot row from a shard
+                        // this request already touches. Otherwise
+                        // load-balance across live replicas.
+                        match live.iter().copied().find(|o| primaries.contains(o)) {
+                            Some(o) => {
+                                stats.affinity_hits += 1;
+                                o
+                            }
+                            None => live[(spread % live.len() as u64) as usize],
+                        }
+                    } else {
+                        live[0]
+                    };
+                    if chosen != owners[0] {
+                        route.rerouted = true;
+                    }
+                    chosen
+                }
+            };
+            if !primaries.contains(&target) {
+                primaries.push(target);
+                // SLA-aware hedging: duplicate the leg on a live replica
+                // when its shard is inside a repair window.
+                if cfg.failover == FailoverPolicy::HedgeDegraded && health[target].degraded_at(t) {
+                    let alt = owners
+                        .iter()
+                        .copied()
+                        .find(|&o| o != target && !health[o].dead_at(t));
+                    if let Some(h) = alt {
+                        hedges.push((target, h));
+                    }
+                }
+            }
+        }
+        if route.router_shed {
+            stats.router_shed += 1;
+            route.legs.clear();
+        } else {
+            route.legs = primaries
+                .iter()
+                .map(|&p| Leg {
+                    primary: p,
+                    hedge: hedges.iter().find(|(lp, _)| *lp == p).map(|&(_, h)| h),
+                })
+                .collect();
+            routed_requests += 1;
+            fanout_sum += route.legs.len();
+            stats.subrequests += route
+                .legs
+                .iter()
+                .map(|l| 1 + usize::from(l.hedge.is_some()))
+                .sum::<usize>();
+            stats.hedge_subrequests += route.legs.iter().filter(|l| l.hedge.is_some()).count();
+            if route.rerouted {
+                stats.rerouted_requests += 1;
+            }
+        }
+        routes.push(route);
+    }
+    stats.mean_fanout = if routed_requests > 0 {
+        fanout_sum as f64 / routed_requests as f64
+    } else {
+        0.0
+    };
+    (routes, stats)
+}
+
+/// Fan-out preview: the per-shard arrival sub-traces a cluster run would
+/// dispatch (hedge duplicates included). The inert-decomposition gate
+/// replays these through independent single-node `simulate` calls and
+/// asserts bit-identity with [`ClusterReport::shards`].
+///
+/// # Errors
+///
+/// As [`simulate_cluster`], minus per-shard simulation errors.
+pub fn shard_traces(
+    cfg: &ClusterConfig,
+    workload: &Workload,
+    arrivals_us: &[f64],
+) -> Result<Vec<Vec<f64>>, ClusterError> {
+    cfg.validate()?;
+    validate_trace(arrivals_us)?;
+    let health = node_healths(cfg, arrivals_us)?;
+    let (routes, _) = route_requests(cfg, workload.rows_per_table, arrivals_us, &health);
+    Ok(per_shard_arrivals(cfg.plan.nodes(), arrivals_us, &routes)
+        .into_iter()
+        .map(|subs| subs.into_iter().map(|(t, _, _)| t).collect())
+        .collect())
+}
+
+fn validate_trace(arrivals_us: &[f64]) -> Result<(), ClusterError> {
+    for (i, &t) in arrivals_us.iter().enumerate() {
+        let sorted = i == 0 || arrivals_us[i - 1] <= t;
+        if !t.is_finite() || t < 0.0 || !sorted {
+            return Err(ClusterError::Shard(SimError::BadArrival { index: i }));
+        }
+    }
+    Ok(())
+}
+
+fn node_healths(cfg: &ClusterConfig, arrivals_us: &[f64]) -> Result<Vec<NodeHealth>, ClusterError> {
+    // The same window the per-shard engine expands its plan over: the
+    // horizon when set, the last arrival otherwise.
+    let horizon = cfg
+        .horizon_us
+        .unwrap_or_else(|| arrivals_us.last().copied().unwrap_or(0.0));
+    cfg.nodes
+        .iter()
+        .map(|n| NodeHealth::from_plan(&n.faults, horizon))
+        .collect()
+}
+
+/// Sub-request: (arrival, request id, is_hedge).
+fn per_shard_arrivals(
+    nodes: usize,
+    arrivals_us: &[f64],
+    routes: &[Route],
+) -> Vec<Vec<(f64, usize, bool)>> {
+    let mut shard_subs: Vec<Vec<(f64, usize, bool)>> = vec![Vec::new(); nodes];
+    for (id, route) in routes.iter().enumerate() {
+        let t = arrivals_us[id];
+        for leg in &route.legs {
+            shard_subs[leg.primary].push((t, id, false));
+            if let Some(h) = leg.hedge {
+                shard_subs[h].push((t, id, true));
+            }
+        }
+    }
+    shard_subs
+}
+
+/// Run the cluster: route, fan out, price every shard on the per-node
+/// engine, rejoin at max-of-shards.
+///
+/// Pure in `(model, workload, cfg, arrivals_us)` — bit-identical replays
+/// at any `cfg.workers`.
+///
+/// # Errors
+///
+/// [`ClusterError::InvalidConfig`] for unusable cluster knobs;
+/// [`ClusterError::Shard`] when a per-shard run rejects its configuration
+/// or trace.
+pub fn simulate_cluster(
+    model: &SystemModel,
+    workload: &Workload,
+    cfg: &ClusterConfig,
+    arrivals_us: &[f64],
+) -> Result<ClusterReport, ClusterError> {
+    cfg.validate()?;
+    validate_trace(arrivals_us)?;
+    let health = node_healths(cfg, arrivals_us)?;
+    let (routes, mut stats) = route_requests(cfg, workload.rows_per_table, arrivals_us, &health);
+    let shard_subs = per_shard_arrivals(cfg.plan.nodes(), arrivals_us, &routes);
+
+    // Fan the per-shard runs across the worker pool. Each shard prices
+    // against its own capacity-sliced model clone; errors surface from
+    // the lowest shard index for determinism.
+    let inputs: Vec<usize> = (0..cfg.plan.nodes()).collect();
+    let results: Vec<Result<SimReport, SimError>> = par_map(&inputs, cfg.workers, |_, &node| {
+        let arrivals: Vec<f64> = shard_subs[node].iter().map(|&(t, _, _)| t).collect();
+        let m = shard_model(model, cfg, node);
+        let sim_cfg = shard_sim_config(cfg, node);
+        simulate(&m, workload, &sim_cfg, &arrivals)
+    });
+    let mut shards = Vec::with_capacity(results.len());
+    for (node, result) in results.into_iter().enumerate() {
+        shards.push(ShardOutcome {
+            node,
+            subrequests: shard_subs[node].len(),
+            report: result?,
+        });
+    }
+
+    // Local index of each sub-request within its shard's trace, keyed
+    // back to (request, leg role) for the rejoin.
+    let mut leg_outcomes: Vec<Vec<LegOutcome>> = vec![Vec::new(); arrivals_us.len()];
+    for (node, subs) in shard_subs.iter().enumerate() {
+        for (local, &(_, id, is_hedge)) in subs.iter().enumerate() {
+            let rec = &shards[node].report.records[local];
+            let finish = rec.completion.map(|c| c.finish_us);
+            leg_outcomes[id].push((node, rec.outcome, finish, is_hedge));
+        }
+    }
+
+    let horizon = cfg.horizon_us;
+    let mut records = Vec::with_capacity(arrivals_us.len());
+    let mut outcomes = OutcomeCounts::default();
+    let mut latencies = Vec::new();
+    let mut arrived = 0usize;
+    let sla_us = cfg.retry.deadline_us;
+    let mut within_sla = 0usize;
+    for (id, route) in routes.iter().enumerate() {
+        let t = arrivals_us[id];
+        let in_window = horizon.is_none_or(|h| t <= h);
+        let mut record = ClusterRecord {
+            arrival_us: t,
+            outcome: None,
+            finish_us: None,
+            fanout: route.legs.len(),
+            rerouted: route.rerouted,
+            hedged: route.legs.iter().any(|l| l.hedge.is_some()),
+        };
+        if !in_window {
+            records.push(record);
+            continue;
+        }
+        arrived += 1;
+        let outcome = if route.router_shed {
+            Some(RequestOutcome::Shed)
+        } else {
+            rejoin(&route.legs, &leg_outcomes[id], &mut record)
+        };
+        record.outcome = outcome;
+        match outcome {
+            Some(RequestOutcome::Completed) => {
+                outcomes.completed += 1;
+                let latency = record.finish_us.expect("completed has a finish") - t;
+                if latency <= sla_us {
+                    within_sla += 1;
+                }
+                latencies.push(latency);
+            }
+            Some(RequestOutcome::Shed) => outcomes.shed += 1,
+            Some(RequestOutcome::TimedOut) => outcomes.timed_out += 1,
+            Some(RequestOutcome::InFlightAtHorizon) => outcomes.in_flight_at_horizon += 1,
+            None => unreachable!("every in-window request resolves"),
+        }
+        records.push(record);
+    }
+    if arrivals_us.is_empty() {
+        stats.mean_fanout = 0.0;
+    }
+
+    let end_us = shards
+        .iter()
+        .map(|s| s.report.end_us)
+        .fold(0.0f64, f64::max);
+    let completed = outcomes.completed;
+    let report = ClusterReport {
+        offered: arrivals_us.len(),
+        arrived,
+        completed,
+        outcomes,
+        latency: LatencySummary::from_latencies(latencies),
+        availability: if arrived > 0 {
+            within_sla as f64 / arrived as f64
+        } else {
+            1.0
+        },
+        sla_us,
+        end_us,
+        throughput_qps: if end_us > 0.0 {
+            completed as f64 / end_us * 1e6
+        } else {
+            0.0
+        },
+        goodput_qps: if end_us > 0.0 {
+            within_sla as f64 / end_us * 1e6
+        } else {
+            0.0
+        },
+        shed_rate: if arrived > 0 {
+            outcomes.shed as f64 / arrived as f64
+        } else {
+            0.0
+        },
+        routing: stats,
+        records,
+        shards,
+    };
+    debug_assert!(report.is_conserved());
+    Ok(report)
+}
+
+/// Rejoin a request's legs: a leg resolves to the best of its copies
+/// (hedged duplicates race — first completion wins), the request to the
+/// worst of its legs (every leg must finish; max-of-shards latency). A
+/// terminally failed leg (shed / timed out) fails the request even if
+/// other legs are still in flight.
+/// One resolved sub-request at the rejoin: `(shard, outcome, finish, is_hedge)`.
+type LegOutcome = (ShardId, Option<RequestOutcome>, Option<f64>, bool);
+
+fn rejoin(
+    legs: &[Leg],
+    sub_outcomes: &[LegOutcome],
+    record: &mut ClusterRecord,
+) -> Option<RequestOutcome> {
+    // Outcome severity for the cross-leg "worst" fold.
+    fn worst_rank(o: RequestOutcome) -> u8 {
+        match o {
+            RequestOutcome::Shed => 0,
+            RequestOutcome::TimedOut => 1,
+            RequestOutcome::InFlightAtHorizon => 2,
+            RequestOutcome::Completed => 3,
+        }
+    }
+    let mut request_outcome = RequestOutcome::Completed;
+    let mut slowest_finish = 0.0f64;
+    for leg in legs {
+        // Copies of this leg: the primary sub plus (iff hedged) the
+        // duplicate on the hedge shard.
+        let mut leg_outcome: Option<RequestOutcome> = None;
+        let mut leg_finish: Option<f64> = None;
+        for &(shard, outcome, finish, is_hedge) in sub_outcomes {
+            let belongs =
+                (shard == leg.primary && !is_hedge) || (Some(shard) == leg.hedge && is_hedge);
+            if !belongs {
+                continue;
+            }
+            let o = outcome.expect("in-window sub-request resolves");
+            if o == RequestOutcome::Completed {
+                let f = finish.expect("completed sub has a finish");
+                leg_finish = Some(leg_finish.map_or(f, |cur: f64| cur.min(f)));
+                leg_outcome = Some(RequestOutcome::Completed);
+            } else if leg_outcome != Some(RequestOutcome::Completed) {
+                // Best surviving copy: in-flight can still complete, a
+                // timeout beats a shed.
+                let better = leg_outcome.is_none_or(|cur| worst_rank(o) > worst_rank(cur));
+                if better {
+                    leg_outcome = Some(o);
+                }
+            }
+        }
+        let o = leg_outcome.expect("every leg has at least one sub-request");
+        if worst_rank(o) < worst_rank(request_outcome) {
+            request_outcome = o;
+        }
+        if let Some(f) = leg_finish {
+            slowest_finish = slowest_finish.max(f);
+        }
+    }
+    if request_outcome == RequestOutcome::Completed {
+        record.finish_us = Some(slowest_finish);
+    }
+    Some(request_outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensordimm_faults::{NodeOutage, RankOutage};
+    use tensordimm_serving::ArrivalProcess;
+
+    fn model() -> SystemModel {
+        SystemModel::paper_defaults()
+    }
+
+    fn arrivals(qps: f64, n: usize, seed: u64) -> Vec<f64> {
+        ArrivalProcess::Poisson { rate_qps: qps }.sample_arrivals_us(n, seed)
+    }
+
+    fn base_cfg(nodes: usize, replication: usize) -> ClusterConfig {
+        ClusterConfig::new(
+            ShardPlan::hash(nodes, replication).expect("valid"),
+            vec![NodeSpec::paper(2); nodes],
+            DesignPoint::Tdimm,
+            BatchPolicy::new(16, 200.0),
+        )
+    }
+
+    #[test]
+    fn cluster_run_is_deterministic_and_conserved() {
+        let m = model();
+        let w = Workload::facebook();
+        let trace = arrivals(60_000.0, 300, 7);
+        let cfg = base_cfg(4, 2)
+            .with_retry(RetryPolicy::none().with_deadline(5_000.0))
+            .with_admission(AdmissionPolicy::bounded(64));
+        let a = simulate_cluster(&m, &w, &cfg, &trace).expect("valid");
+        let b = simulate_cluster(&m, &w, &cfg, &trace).expect("valid");
+        assert_eq!(a, b, "replays are bit-identical");
+        assert!(a.is_conserved());
+        assert_eq!(a.offered, 300);
+        assert_eq!(a.arrived, 300);
+        assert!(a.completed > 0);
+        assert!(a.routing.mean_fanout >= 1.0);
+        // Worker count must not perturb anything.
+        let par = simulate_cluster(&m, &w, &cfg.clone().with_workers(4), &trace).expect("valid");
+        assert_eq!(a, par, "bit-identical at any worker count");
+    }
+
+    #[test]
+    fn inert_cluster_decomposes_into_single_node_runs() {
+        let m = model();
+        let w = Workload::youtube();
+        let trace = arrivals(50_000.0, 200, 11);
+        let mut cfg = base_cfg(3, 1).with_failover(FailoverPolicy::None);
+        cfg.plan = ShardPlan::round_robin(3, 1).expect("valid");
+        let report = simulate_cluster(&m, &w, &cfg, &trace).expect("valid");
+        let traces = shard_traces(&cfg, &w, &trace).expect("valid");
+        for (node, sub_trace) in traces.iter().enumerate() {
+            let independent = simulate(
+                &shard_model(&m, &cfg, node),
+                &w,
+                &shard_sim_config(&cfg, node),
+                sub_trace,
+            )
+            .expect("valid");
+            assert_eq!(
+                report.shards[node].report, independent,
+                "shard {node} must be bit-identical to its independent run"
+            );
+        }
+        // Single-leg requests rejoin at exactly the shard latency.
+        for (id, rec) in report.records.iter().enumerate() {
+            if rec.fanout == 1 && rec.outcome == Some(RequestOutcome::Completed) {
+                assert!(rec.finish_us.expect("completed") > trace[id]);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_node_reroutes_to_replicas_or_sheds() {
+        let m = model();
+        let w = Workload::facebook();
+        let trace = arrivals(40_000.0, 150, 3);
+        let horizon = *trace.last().expect("nonempty");
+        let outage = FaultPlan::none().with_node_outage(NodeOutage {
+            start_us: 0.0,
+            duration_us: horizon + 1.0,
+        });
+        // Unreplicated + static routing: every request touching node 0
+        // is shed at the router.
+        let mut dead0 = base_cfg(3, 1).with_failover(FailoverPolicy::None);
+        dead0.nodes[0] = dead0.nodes[0].with_faults(outage);
+        let r = simulate_cluster(&m, &w, &dead0, &trace).expect("valid");
+        assert!(r.is_conserved());
+        assert!(r.routing.router_shed > 0, "dead primary must shed");
+        assert!(r.availability < 1.0);
+        // Replicated + rerouting: everything still completes; the
+        // survivors absorb the load.
+        let mut rerouted = base_cfg(3, 2).with_failover(FailoverPolicy::Reroute);
+        rerouted.nodes[0] = rerouted.nodes[0].with_faults(outage);
+        let r2 = simulate_cluster(&m, &w, &rerouted, &trace).expect("valid");
+        assert!(r2.is_conserved());
+        assert_eq!(r2.routing.router_shed, 0);
+        assert!(r2.routing.rerouted_requests > 0);
+        assert_eq!(r2.shards[0].subrequests, 0, "dead node receives nothing");
+        assert_eq!(r2.completed, r2.arrived);
+    }
+
+    #[test]
+    fn hedging_duplicates_legs_on_degraded_shards() {
+        let m = model();
+        let w = Workload::facebook();
+        let trace = arrivals(40_000.0, 120, 5);
+        let horizon = *trace.last().expect("nonempty");
+        // Node 0 limps through the whole run with a rank out.
+        let degraded = FaultPlan::none().with_rank_outage(RankOutage {
+            rank: 0,
+            start_us: 0.0,
+            duration_us: horizon + 1.0,
+        });
+        let mut cfg = base_cfg(3, 2).with_failover(FailoverPolicy::HedgeDegraded);
+        cfg.nodes[0] = cfg.nodes[0].with_faults(degraded);
+        let r = simulate_cluster(&m, &w, &cfg, &trace).expect("valid");
+        assert!(r.is_conserved());
+        assert!(r.routing.hedge_subrequests > 0, "degraded shard is hedged");
+        assert!(r.records.iter().any(|rec| rec.hedged));
+        // Without hedging the same cluster routes strictly fewer subs.
+        let plain = simulate_cluster(
+            &m,
+            &w,
+            &cfg.clone().with_failover(FailoverPolicy::Reroute),
+            &trace,
+        )
+        .expect("valid");
+        assert!(plain.routing.subrequests < r.routing.subrequests);
+        assert_eq!(plain.routing.hedge_subrequests, 0);
+    }
+
+    #[test]
+    fn horizon_cut_conserves() {
+        let m = model();
+        let w = Workload::ncf();
+        let trace = arrivals(80_000.0, 200, 13);
+        let mid = trace[99];
+        let cfg = base_cfg(2, 2)
+            .with_horizon(mid)
+            .with_retry(RetryPolicy::none().with_deadline(3_000.0));
+        let r = simulate_cluster(&m, &w, &cfg, &trace).expect("valid");
+        assert!(r.is_conserved());
+        assert!(r.not_arrived() > 0, "the cut must strand arrivals");
+        assert_eq!(r.arrived + r.not_arrived(), 200);
+        assert!(r
+            .records
+            .iter()
+            .filter(|rec| rec.arrival_us > mid)
+            .all(|rec| rec.outcome.is_none()));
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_knobs() {
+        let m = model();
+        let w = Workload::ncf();
+        let reject = |cfg: ClusterConfig, parameter: &'static str| {
+            assert_eq!(
+                simulate_cluster(&m, &w, &cfg, &[0.0]),
+                Err(ClusterError::InvalidConfig { parameter }),
+                "{parameter}"
+            );
+        };
+        let mut wrong_len = base_cfg(3, 1);
+        wrong_len.nodes.pop();
+        reject(wrong_len, "nodes.len");
+        let mut no_gpus = base_cfg(2, 1);
+        no_gpus.nodes[1].gpus = 0;
+        reject(no_gpus, "node.gpus");
+        let mut no_dimms = base_cfg(2, 1);
+        no_dimms.nodes[0].dimms = 0;
+        reject(no_dimms, "node.dimms");
+        reject(base_cfg(2, 1).with_lookups(0, 0.9, 1), "routing_lookups");
+        reject(base_cfg(2, 1).with_workers(0), "workers");
+        let mut bad_skew = base_cfg(2, 1);
+        bad_skew.zipf_s = f64::NAN;
+        reject(bad_skew, "zipf_s");
+        // Trace and per-shard errors wrap as Shard.
+        assert!(matches!(
+            simulate_cluster(&m, &w, &base_cfg(2, 1), &[1.0, 0.5]),
+            Err(ClusterError::Shard(SimError::BadArrival { index: 1 }))
+        ));
+        assert!(!ClusterError::InvalidConfig { parameter: "nodes" }
+            .to_string()
+            .is_empty());
+    }
+
+    #[test]
+    fn health_windows_fold_schedules() {
+        let plan = FaultPlan::none()
+            .with_node_outage(NodeOutage {
+                start_us: 100.0,
+                duration_us: 50.0,
+            })
+            .with_rank_outage(RankOutage {
+                rank: 0,
+                start_us: 300.0,
+                duration_us: 100.0,
+            });
+        let h = NodeHealth::from_plan(&plan, 1_000.0).expect("valid");
+        assert!(!h.dead_at(99.9) && h.dead_at(100.0) && h.dead_at(149.9));
+        assert!(!h.dead_at(150.0), "half-open: repaired at the boundary");
+        assert!(h.degraded_at(350.0) && !h.degraded_at(450.0));
+        assert!(!h.degraded_at(120.0), "dead is not degraded");
+        // A 1-DIMM node losing its only rank is dead, not degraded.
+        let mut tiny = FaultPlan::none().with_rank_outage(RankOutage {
+            rank: 0,
+            start_us: 10.0,
+            duration_us: 5.0,
+        });
+        tiny.dimms = 1;
+        let h1 = NodeHealth::from_plan(&tiny, 100.0).expect("valid");
+        assert!(h1.dead_at(12.0) && !h1.degraded_at(12.0));
+        assert!(!h1.dead_at(15.0));
+    }
+}

@@ -94,6 +94,36 @@ pub struct RowFaults {
     pub rows: u64,
 }
 
+/// An explicitly scheduled outage of one DIMM rank: the rank is down for
+/// the closed repair window `[start_us, start_us + duration_us]`. Unlike
+/// the thinned stochastic stream these windows are rate-independent, so
+/// they model *known* maintenance or a reproduced incident; the cluster
+/// layer uses them to pin a one-node degradation at an exact instant.
+///
+/// Validation rejects zero-length repair windows and two windows on the
+/// same rank whose closed intervals overlap (including abutting windows:
+/// a second outage may not begin before the first repair completes —
+/// otherwise the down/restored transitions for the rank would interleave
+/// and corrupt the liveness mask). A window may still overlap a
+/// *stochastic* failure of the same rank; [`FaultPlan::schedule`] merges
+/// those into one extended window rather than emitting nested pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankOutage {
+    /// Which DIMM rank (must be `< FaultPlan::dimms`).
+    pub rank: u64,
+    /// When the rank drops out, µs.
+    pub start_us: f64,
+    /// Length of the repair window, µs (must be `> 0`).
+    pub duration_us: f64,
+}
+
+impl RankOutage {
+    /// End of the repair window, µs.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.duration_us
+    }
+}
+
 /// A seeded description of the failure environment. `Copy`, so it rides
 /// inside a serving `SimConfig` the way the batching policy does.
 ///
@@ -123,11 +153,18 @@ pub struct FaultPlan {
     pub gray: Option<GrayRank>,
     /// Optional periodic transient row faults.
     pub row_faults: Option<RowFaults>,
+    /// Explicitly scheduled rank outages (fixed-size so the plan stays
+    /// `Copy`; unused slots are `None`). See [`RankOutage`].
+    pub rank_outages: [Option<RankOutage>; FaultPlan::MAX_RANK_OUTAGES],
 }
 
 impl FaultPlan {
     /// Widest supported node: DIMM liveness is tracked in a 128-bit mask.
     pub const MAX_DIMMS: u64 = 128;
+
+    /// Explicit rank-outage slots per plan (fixed so [`FaultPlan`] stays
+    /// `Copy` inside `SimConfig`).
+    pub const MAX_RANK_OUTAGES: usize = 4;
 
     /// No faults at all: the schedule is empty at every horizon.
     pub fn none() -> Self {
@@ -140,6 +177,7 @@ impl FaultPlan {
             node_outage: None,
             gray: None,
             row_faults: None,
+            rank_outages: [None; FaultPlan::MAX_RANK_OUTAGES],
         }
     }
 
@@ -171,12 +209,44 @@ impl FaultPlan {
         self
     }
 
+    /// Add an explicitly scheduled rank outage in the first free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when all [`FaultPlan::MAX_RANK_OUTAGES`] slots are in use.
+    pub fn with_rank_outage(mut self, outage: RankOutage) -> Self {
+        let slot = self
+            .rank_outages
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("all rank-outage slots in use (FaultPlan::MAX_RANK_OUTAGES)");
+        *slot = Some(outage);
+        self
+    }
+
+    /// Derive the plan node `node` of a cluster carries: identical knobs,
+    /// decorrelated stochastic stream. The seed is mixed with the node id
+    /// through a fixed permutation that does not depend on
+    /// [`FaultPlan::dimm_fault_rate`], so every node keeps the thinning
+    /// property — its accepted failure set still nests as the rate rises —
+    /// while no two nodes share candidate epochs. Explicit windows
+    /// (`node_outage`, `gray`, `row_faults`, `rank_outages`) are kept
+    /// verbatim: they describe the node the derived plan is attached to.
+    pub fn for_node(mut self, node: u64) -> Self {
+        self.seed ^= node
+            .wrapping_add(1)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(17);
+        self
+    }
+
     /// Whether this plan produces an empty schedule at every horizon.
     pub fn is_inert(&self) -> bool {
         self.dimm_fault_rate <= 0.0
             && self.node_outage.is_none()
             && self.gray.is_none()
             && self.row_faults.is_none()
+            && self.rank_outages.iter().all(Option::is_none)
     }
 
     /// Check the knobs are usable.
@@ -225,6 +295,32 @@ impl FaultPlan {
                 return bad("row_faults.rows");
             }
         }
+        let mut windows: Vec<(u64, f64, f64)> = Vec::new();
+        for o in self.rank_outages.iter().flatten() {
+            if o.rank >= self.dimms {
+                return bad("rank_outages.rank");
+            }
+            if !o.start_us.is_finite() || o.start_us < 0.0 {
+                return bad("rank_outages.start_us");
+            }
+            // A zero-length repair window would emit a down/restored pair
+            // at the same instant — reject it rather than letting the
+            // transition order decide whether the rank ends up down.
+            if !o.duration_us.is_finite() || o.duration_us <= 0.0 {
+                return bad("rank_outages.duration_us");
+            }
+            windows.push((o.rank, o.start_us, o.end_us()));
+        }
+        // Two explicit windows on one rank must not overlap (closed
+        // intervals: abutting counts — the second outage may not begin
+        // before the first repair completes).
+        windows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for pair in windows.windows(2) {
+            let ((rank_a, _, end_a), (rank_b, start_b, _)) = (pair[0], pair[1]);
+            if rank_a == rank_b && start_b <= end_a {
+                return bad("rank_outages.overlap");
+            }
+        }
         Ok(())
     }
 
@@ -246,12 +342,12 @@ impl FaultPlan {
         }
         let mut events = Vec::new();
 
+        let mut windows: Vec<(u64, f64, f64)> = Vec::new();
         if self.dimm_fault_rate > 0.0 {
             // Thinning: every candidate consumes the identical draws
             // regardless of the rate, so the accepted set nests across
             // rates (see the module docs).
             let mut rng = StdRng::seed_from_u64(self.seed ^ 0xfa_17);
-            let mut windows: Vec<(u64, f64, f64)> = Vec::new();
             let mut t = 0.0f64;
             loop {
                 let gap = -self.dimm_candidate_gap_us * (1.0 - rng.gen::<f64>()).ln();
@@ -265,21 +361,30 @@ impl FaultPlan {
                     windows.push((dimm, t, t + self.dimm_repair_us));
                 }
             }
-            // Merge overlapping windows per DIMM: a DIMM that fails again
-            // while already down extends its outage instead of emitting a
-            // nested Down/Restored pair.
-            windows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-            let mut merged: Vec<(u64, f64, f64)> = Vec::new();
-            for (dimm, start, end) in windows {
-                match merged.last_mut() {
-                    Some((d, _, e)) if *d == dimm && start <= *e => *e = e.max(end),
-                    _ => merged.push((dimm, start, end)),
-                }
+        }
+        // Explicit rank outages join the same window list: one that
+        // overlaps a stochastic failure of its rank merges into a single
+        // extended window below. Since the explicit set is rate-
+        // independent, the merged union still nests across rates.
+        for o in self.rank_outages.iter().flatten() {
+            if o.start_us <= horizon_us {
+                windows.push((o.rank, o.start_us, o.end_us()));
             }
-            for (dimm, start, end) in merged {
-                events.push(FaultEvent::DimmDown { at_us: start, dimm });
-                events.push(FaultEvent::DimmRestored { at_us: end, dimm });
+        }
+        // Merge overlapping windows per DIMM: a DIMM that fails again
+        // while already down extends its outage instead of emitting a
+        // nested Down/Restored pair.
+        windows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut merged: Vec<(u64, f64, f64)> = Vec::new();
+        for (dimm, start, end) in windows {
+            match merged.last_mut() {
+                Some((d, _, e)) if *d == dimm && start <= *e => *e = e.max(end),
+                _ => merged.push((dimm, start, end)),
             }
+        }
+        for (dimm, start, end) in merged {
+            events.push(FaultEvent::DimmDown { at_us: start, dimm });
+            events.push(FaultEvent::DimmRestored { at_us: end, dimm });
         }
 
         if let Some(o) = self.node_outage {
@@ -782,6 +887,152 @@ mod tests {
         st.apply(StateChange::DimmDown(1));
         assert_eq!(st.dimms_alive(), 0);
         assert!(!st.can_dispatch());
+    }
+
+    #[test]
+    fn rank_outage_validation_rejects_zero_length_and_overlap() {
+        let reject = |plan: FaultPlan, parameter: &'static str| {
+            assert_eq!(
+                plan.schedule(1000.0),
+                Err(FaultError::InvalidPlan { parameter }),
+                "{parameter}"
+            );
+        };
+        let base = FaultPlan::none();
+        let w = |rank, start_us, duration_us| RankOutage {
+            rank,
+            start_us,
+            duration_us,
+        };
+        // Zero-length (and negative / non-finite) repair windows.
+        reject(
+            base.with_rank_outage(w(0, 100.0, 0.0)),
+            "rank_outages.duration_us",
+        );
+        reject(
+            base.with_rank_outage(w(0, 100.0, -5.0)),
+            "rank_outages.duration_us",
+        );
+        reject(
+            base.with_rank_outage(w(0, 100.0, f64::NAN)),
+            "rank_outages.duration_us",
+        );
+        // Bad anchors and out-of-range ranks.
+        reject(
+            base.with_rank_outage(w(0, -1.0, 10.0)),
+            "rank_outages.start_us",
+        );
+        reject(base.with_rank_outage(w(32, 0.0, 10.0)), "rank_outages.rank");
+        // Overlapping windows on the same rank — including abutting ones,
+        // where the second outage starts exactly at the first repair.
+        reject(
+            base.with_rank_outage(w(3, 100.0, 50.0))
+                .with_rank_outage(w(3, 120.0, 50.0)),
+            "rank_outages.overlap",
+        );
+        reject(
+            base.with_rank_outage(w(3, 100.0, 50.0))
+                .with_rank_outage(w(3, 150.0, 50.0)),
+            "rank_outages.overlap",
+        );
+        // Same windows on different ranks are fine; so are disjoint
+        // windows on one rank.
+        let ok = base
+            .with_rank_outage(w(3, 100.0, 50.0))
+            .with_rank_outage(w(4, 100.0, 50.0))
+            .with_rank_outage(w(3, 151.0, 50.0));
+        assert!(!ok.is_inert());
+        let s = ok.schedule(1000.0).expect("valid");
+        assert_eq!(s.events().len(), 6, "three down/restored pairs");
+        assert!((s.dimm_downtime_us(1000.0) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_rank_outage_merges_with_thinned_stream() {
+        // Rate 1.0 accepts every candidate; a horizon-long explicit
+        // window on every rank overlaps many of them. The merged
+        // schedule must still pair every down with one restore (no
+        // nested pairs — the liveness mask is a bitmask, not a counter).
+        let mut plan = FaultPlan::dimm_faults(11, 1.0);
+        plan.dimms = 4;
+        for rank in 0..4 {
+            plan = plan.with_rank_outage(RankOutage {
+                rank,
+                start_us: 1_000.0,
+                duration_us: 150_000.0,
+            });
+        }
+        let s = plan.schedule(200_000.0).expect("valid");
+        let mut open = std::collections::HashSet::new();
+        for e in s.events() {
+            match *e {
+                FaultEvent::DimmDown { dimm, .. } => {
+                    assert!(open.insert(dimm), "no nested down for one DIMM");
+                }
+                FaultEvent::DimmRestored { dimm, .. } => {
+                    assert!(open.remove(&dimm), "restore pairs with a down");
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty());
+        // The explicit windows only ever add downtime over the purely
+        // stochastic plan.
+        let stochastic = FaultPlan {
+            rank_outages: [None; FaultPlan::MAX_RANK_OUTAGES],
+            ..plan
+        };
+        let horizon = 200_000.0;
+        assert!(
+            s.dimm_downtime_us(horizon)
+                >= stochastic
+                    .schedule(horizon)
+                    .expect("valid")
+                    .dimm_downtime_us(horizon)
+        );
+    }
+
+    #[test]
+    fn for_node_decorrelates_but_preserves_monotone_downtime() {
+        let base = FaultPlan::dimm_faults(42, 0.5);
+        let horizon = 400_000.0;
+        let a = base.for_node(0).schedule(horizon).expect("valid");
+        let b = base.for_node(1).schedule(horizon).expect("valid");
+        assert_ne!(a, b, "per-node streams decorrelate");
+        assert_eq!(
+            a,
+            base.for_node(0).schedule(horizon).expect("valid"),
+            "derivation is deterministic"
+        );
+        // Thinning survives the seed mix: each node's downtime is still
+        // monotone in the fault rate.
+        for node in 0..3u64 {
+            let mut last = 0.0f64;
+            for rate in [0.0, 0.25, 0.5, 1.0] {
+                let down = FaultPlan::dimm_faults(42, rate)
+                    .for_node(node)
+                    .schedule(horizon)
+                    .expect("valid")
+                    .dimm_downtime_us(horizon);
+                assert!(down >= last - 1e-9, "node {node} rate {rate}");
+                last = down;
+            }
+        }
+        // Explicit windows ride along verbatim.
+        let derived = base
+            .with_node_outage(NodeOutage {
+                start_us: 5.0,
+                duration_us: 10.0,
+            })
+            .for_node(7);
+        assert_eq!(
+            derived.node_outage,
+            Some(NodeOutage {
+                start_us: 5.0,
+                duration_us: 10.0
+            })
+        );
+        assert!(FaultPlan::none().for_node(3).is_inert());
     }
 
     #[test]

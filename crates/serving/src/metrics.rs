@@ -93,6 +93,15 @@ impl OutcomeCounts {
     pub fn total(&self) -> usize {
         self.completed + self.shed + self.timed_out + self.in_flight_at_horizon
     }
+
+    /// The conservation law itself: every request that arrived is
+    /// accounted for exactly once. The single-node simulator, the sweep
+    /// gates, and the cluster layer's fan-out/rejoin accounting all
+    /// assert this form (the cluster additionally checks it at every
+    /// sweep point including the horizon cut).
+    pub fn is_conserved(&self, arrived: usize) -> bool {
+        self.total() == arrived
+    }
 }
 
 /// Waiting-queue depth over the simulated interval.

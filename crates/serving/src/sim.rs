@@ -342,6 +342,7 @@ impl SimReport {
         let live = self.in_flight + self.queued + self.retry_pending;
         self.outcomes.completed == self.completed
             && self.outcomes.in_flight_at_horizon == live
+            && self.outcomes.is_conserved(self.arrived)
             && self.completed
                 + self.outcomes.shed
                 + self.outcomes.timed_out
@@ -354,7 +355,19 @@ impl SimReport {
     /// their arrival (`1.0` for a run with no arrivals — vacuously
     /// available). Shed and timed-out requests never count; neither do
     /// completions slower than the SLA.
+    ///
+    /// The all-shed contract (pinned by `all_shed_point_has_zero_…`): a
+    /// point where every arrived request was shed reports availability
+    /// `0.0` with an all-zero latency summary — never NaN and never a
+    /// zero-denominator, because `arrived`, not `completed`, is the
+    /// denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a NaN `sla_us` (it would silently judge every completion
+    /// late); `f64::INFINITY` is the spelling for "no SLA".
     pub fn availability_at(&self, sla_us: f64) -> f64 {
+        assert!(!sla_us.is_nan(), "availability_at: NaN SLA");
         if self.arrived == 0 {
             return 1.0;
         }
@@ -1614,5 +1627,62 @@ mod tests {
         assert_eq!(r2.hedge_dispatches, 0);
         assert_eq!(r2.completed, 2);
         assert!(r2.is_conserved());
+    }
+
+    /// The all-shed contract: a sweep point where **every** arrived
+    /// request was shed reports availability 0.0 (never NaN — `arrived`
+    /// is the denominator), an all-zero latency summary, zero
+    /// throughput/goodput, and still conserves. The cluster layer's
+    /// availability gates lean on this when a dead shard sheds its whole
+    /// sub-trace.
+    #[test]
+    fn all_shed_point_has_zero_availability_not_nan() {
+        let w = Workload::facebook();
+        // Node out for the whole run, bounded queue of 1, shed_expired
+        // with a deadline: the first arrival fills the queue and times
+        // out; everything behind it is shed on arrival. With retries at
+        // zero, nothing ever completes.
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 1, BatchPolicy::new(1, 0.0))
+            .with_faults(FaultPlan::none().with_node_outage(NodeOutage {
+                start_us: 0.0,
+                duration_us: 1e9,
+            }))
+            .with_retry(RetryPolicy::none().with_deadline(10.0))
+            .with_admission(AdmissionPolicy {
+                max_queue_depth: 1,
+                shed_expired: true,
+            });
+        let pricer = ConstPricer(100.0);
+        let r = simulate_with_pricer(&w, &cfg, &[0.0, 1.0, 2.0, 3.0], &pricer).expect("valid");
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.outcomes.completed, 0);
+        assert_eq!(
+            r.outcomes.shed + r.outcomes.timed_out,
+            4,
+            "every arrival resolves without completing: {:?}",
+            r.outcomes
+        );
+        assert!(r.outcomes.shed > 0, "the bounded queue must shed");
+        assert!(r.is_conserved());
+        assert!(r.outcomes.is_conserved(r.arrived));
+        // The contract under test: all-zero statistics, not NaN.
+        assert_eq!(r.availability, 0.0);
+        assert_eq!(r.availability_at(1e9), 0.0);
+        assert!(r.availability.is_finite());
+        assert_eq!(r.latency, LatencySummary::default());
+        assert_eq!(r.throughput_qps, 0.0);
+        assert_eq!(r.goodput_qps, 0.0);
+        assert!(r.shed_rate > 0.0 && r.shed_rate.is_finite());
+    }
+
+    /// A NaN SLA would silently judge every completion late; the report
+    /// refuses it loudly instead (infinity is the "no SLA" spelling).
+    #[test]
+    #[should_panic(expected = "NaN SLA")]
+    fn availability_at_rejects_nan_sla() {
+        let w = Workload::facebook();
+        let cfg = SimConfig::new(DesignPoint::Tdimm, 1, BatchPolicy::new(1, 0.0));
+        let r = simulate_with_pricer(&w, &cfg, &[0.0], &ConstPricer(10.0)).expect("valid");
+        let _ = r.availability_at(f64::NAN);
     }
 }

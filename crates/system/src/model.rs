@@ -132,6 +132,10 @@ impl Clone for SystemModel {
 }
 
 impl SystemModel {
+    /// DIMMs in the paper's Table 1 TensorNode — the provisioning the
+    /// default `node_peak_gbps` (819.2 GB/s) corresponds to.
+    pub const PAPER_NODE_DIMMS: u64 = 32;
+
     /// Build from a configuration.
     pub fn new(config: SystemModelConfig) -> Self {
         SystemModel {
@@ -162,6 +166,29 @@ impl SystemModel {
     pub fn with_transfer(mut self, transfer: TransferBackend) -> Self {
         self.config.transfer = transfer;
         self.transfer_cache.lock().expect("cache lock").clear();
+        self
+    }
+
+    /// Shard-sliced pricing: re-provision the TensorNode with `dimms`
+    /// DIMMs instead of the paper's [`SystemModel::PAPER_NODE_DIMMS`].
+    /// Aggregate gather/stream bandwidth is rank-parallel (the paper's
+    /// Fig. 7 scaling argument), so the node peak scales linearly in the
+    /// DIMM count while per-DIMM efficiency knobs stay put. The cluster
+    /// layer uses this to price heterogeneous nodes honestly: a 16-DIMM
+    /// shard is *not* a 32-DIMM node that happens to hold less data.
+    ///
+    /// Scaling is relative to the paper's 32-DIMM node, not the current
+    /// peak, so the call is idempotent-per-`dimms` rather than
+    /// compounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dimms` is zero.
+    pub fn with_node_dimms(mut self, dimms: u64) -> Self {
+        assert!(dimms > 0, "a TensorNode needs at least one DIMM");
+        let per_dimm =
+            SystemModelConfig::paper_defaults().node_peak_gbps / Self::PAPER_NODE_DIMMS as f64;
+        self.config.node_peak_gbps = per_dimm * dimms as f64;
         self
     }
 
@@ -635,6 +662,35 @@ mod transfer_tests {
             "line {line} ring {ring} full {full}"
         );
         assert!(line > 1.2 * full, "line {line} vs full {full}");
+    }
+
+    #[test]
+    fn node_dimm_slicing_scales_node_bandwidth() {
+        let w = Workload::facebook();
+        let full = SystemModel::paper_defaults().with_node_dimms(SystemModel::PAPER_NODE_DIMMS);
+        assert_eq!(
+            full.config().node_peak_gbps,
+            SystemModelConfig::paper_defaults().node_peak_gbps,
+            "32 DIMMs is the paper node, bit-identically"
+        );
+        let half = SystemModel::paper_defaults().with_node_dimms(16);
+        assert_eq!(half.config().node_peak_gbps, 819.2 / 2.0);
+        assert!(
+            half.evaluate(&w, 64, DesignPoint::Tdimm).total_us()
+                > full.evaluate(&w, 64, DesignPoint::Tdimm).total_us(),
+            "half the ranks must gather slower"
+        );
+        // Relative-to-paper scaling: the call does not compound.
+        let twice = SystemModel::paper_defaults()
+            .with_node_dimms(16)
+            .with_node_dimms(16);
+        assert_eq!(twice.config().node_peak_gbps, 819.2 / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one DIMM")]
+    fn node_dimm_slicing_rejects_zero() {
+        let _ = SystemModel::paper_defaults().with_node_dimms(0);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * [`serving`] — request-level discrete-event serving simulator: arrival
 //!   processes, dynamic batching, multi-GPU dispatch and tail-latency
 //!   metrics over the system model,
+//! * [`cluster`] — sharded multi-node serving: row placement plans (hash,
+//!   round-robin, capacity-aware, hot-cold split), replication, failover
+//!   and SLA-aware degraded-mode routing over a fan-out/rejoin simulator
+//!   built on the per-node serving engine,
 //! * [`faults`] — seeded virtual-time fault schedules (DIMM rank losses,
 //!   node outages, gray ranks, row faults) injected into the serving loop
 //!   for degraded-mode availability studies,
@@ -61,6 +65,7 @@
 
 pub use tensordimm_analysis as analysis;
 pub use tensordimm_cache as cache;
+pub use tensordimm_cluster as cluster;
 pub use tensordimm_core as core;
 pub use tensordimm_dram as dram;
 pub use tensordimm_embedding as embedding;

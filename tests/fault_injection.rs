@@ -278,3 +278,88 @@ proptest! {
         }
     }
 }
+
+/// Pinned regressions for explicit rank-outage windows (the newest
+/// failure mode): validation rejects the degenerate plans that used to
+/// slip through — zero-length repair windows and overlapping outages on
+/// the same rank — and a valid explicit outage degrades a run exactly as
+/// its merged schedule says, deterministically.
+#[test]
+fn rank_outage_validation_and_injection_pins() {
+    use tensordimm::faults::{FaultError, RankOutage};
+
+    let reject = |plan: FaultPlan, parameter: &'static str| {
+        assert_eq!(
+            plan.validate(),
+            Err(FaultError::InvalidPlan { parameter }),
+            "{parameter}"
+        );
+    };
+    // Zero-length (and negative) repair windows are meaningless.
+    reject(
+        FaultPlan::none().with_rank_outage(RankOutage {
+            rank: 0,
+            start_us: 100.0,
+            duration_us: 0.0,
+        }),
+        "rank_outages.duration_us",
+    );
+    // Overlapping windows on one rank would double-count the rank as a
+    // bitmask; two Downs with one Restored is not a schedule.
+    let overlapping = FaultPlan::none()
+        .with_rank_outage(RankOutage {
+            rank: 1,
+            start_us: 100.0,
+            duration_us: 500.0,
+        })
+        .with_rank_outage(RankOutage {
+            rank: 1,
+            start_us: 300.0,
+            duration_us: 100.0,
+        });
+    reject(overlapping, "rank_outages.overlap");
+    // The same two windows on different ranks are fine.
+    let disjoint_ranks = FaultPlan::none()
+        .with_rank_outage(RankOutage {
+            rank: 1,
+            start_us: 100.0,
+            duration_us: 500.0,
+        })
+        .with_rank_outage(RankOutage {
+            rank: 2,
+            start_us: 300.0,
+            duration_us: 100.0,
+        });
+    assert_eq!(disjoint_ranks.validate(), Ok(()));
+
+    // Injection: a mid-trace rank outage on a 2-DIMM node halves gather
+    // bandwidth inside the window, so the run is strictly slower than the
+    // healthy one and bit-identical on replay.
+    let mut plan = FaultPlan::none().with_rank_outage(RankOutage {
+        rank: 0,
+        start_us: 200.0,
+        duration_us: 1_500.0,
+    });
+    plan.dimms = 2;
+    let model = SystemModel::paper_defaults();
+    let w = Workload::by_name(WorkloadName::Facebook);
+    let cfg = SimConfig::new(DesignPoint::Tdimm, 2, BatchPolicy::new(16, 200.0));
+    let arrivals = ArrivalProcess::Poisson {
+        rate_qps: 400_000.0,
+    }
+    .sample_arrivals_us(300, 11);
+    let healthy = simulate(&model, &w, &cfg, &arrivals).expect("valid");
+    let degraded = simulate(&model, &w, &cfg.with_faults(plan), &arrivals).expect("valid");
+    let replay = simulate(&model, &w, &cfg.with_faults(plan), &arrivals).expect("valid");
+    assert_eq!(
+        degraded, replay,
+        "fault-enabled runs replay bit-identically"
+    );
+    assert!(degraded.is_conserved());
+    assert!(
+        degraded.latency.p99_us > healthy.latency.p99_us,
+        "losing a rank mid-trace must show in the tail ({} vs {})",
+        degraded.latency.p99_us,
+        healthy.latency.p99_us
+    );
+}

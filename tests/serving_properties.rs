@@ -6,7 +6,9 @@
 use proptest::prelude::*;
 
 use tensordimm::models::{Workload, WorkloadName};
-use tensordimm::serving::{simulate, ArrivalProcess, BatchPolicy, SimConfig};
+use tensordimm::serving::{
+    simulate, AdmissionPolicy, ArrivalProcess, BatchPolicy, RequestOutcome, RetryPolicy, SimConfig,
+};
 use tensordimm::system::{DesignPoint, SystemModel};
 
 fn arb_workload() -> impl Strategy<Value = Workload> {
@@ -209,4 +211,101 @@ proptest! {
             prop_assert!(c.batch_size >= 1 && c.batch_size <= policy.max_batch);
         }
     }
+
+    /// `OutcomeCounts::is_conserved` when every degraded-mode mechanism is
+    /// armed at once: a tight bounded queue (sheds), retries with backoff
+    /// (re-admissions) and hedged duplicates (extra dispatches), under
+    /// overload. However the mechanisms interleave, every arrived request
+    /// still lands in exactly one typed bucket.
+    #[test]
+    fn conservation_when_shed_retries_and_hedges_interact(
+        workload in arb_workload(),
+        design in arb_design(),
+        depth in 4usize..24,
+        deadline_us in 1_000.0f64..5_000.0,
+        hedge_after_us in 200.0f64..800.0,
+        rate_qps in 300_000.0f64..900_000.0,
+        seed in 0u64..1000,
+    ) {
+        let model = SystemModel::paper_defaults();
+        let retry = RetryPolicy::none()
+            .with_deadline(deadline_us)
+            .with_retries(3, 100.0, 1_500.0)
+            .with_hedging(hedge_after_us);
+        let cfg = SimConfig::new(design, 2, BatchPolicy::new(8, 150.0))
+            .with_retry(retry)
+            .with_admission(AdmissionPolicy::bounded(depth));
+        let arrivals = ArrivalProcess::Poisson { rate_qps }.sample_arrivals_us(250, seed);
+        let r = simulate(&model, &workload, &cfg, &arrivals).expect("valid inputs");
+        prop_assert!(
+            r.is_conserved(),
+            "outcomes {:?} must sum to arrived {} (retries and hedges in play)",
+            r.outcomes, r.arrived
+        );
+        prop_assert!(r.outcomes.is_conserved(r.arrived));
+        prop_assert_eq!(r.outcomes.completed, r.completed);
+        prop_assert_eq!(r.latency.count, r.completed);
+        // Retried requests still resolve exactly once.
+        let retried = r.records.iter().filter(|rec| rec.retries > 0).count();
+        prop_assert!(retried <= r.arrived);
+    }
+}
+
+/// Pinned overload point where shedding, retries and hedging demonstrably
+/// all fire in one run — the conservation law holds with every mechanism
+/// active simultaneously, not just in isolation.
+#[test]
+fn all_three_degraded_mechanisms_fire_and_conserve() {
+    let model = SystemModel::paper_defaults();
+    let w = Workload::facebook();
+    let retry = RetryPolicy::none()
+        .with_deadline(2_500.0)
+        .with_retries(3, 100.0, 1_000.0)
+        .with_hedging(400.0);
+    // Bursty arrivals + a gray rank are what make all three fire at
+    // once: a burst overflows the bounded queue (sheds) and strands
+    // requests past their backoff deadline (retries), the gray window
+    // multiplies service times past the hedge threshold, and the gap
+    // after a burst leaves a GPU idle for the hedge to land on.
+    let gray = {
+        let mut plan = tensordimm::faults::FaultPlan::none();
+        plan.gray = Some(tensordimm::faults::GrayRank {
+            start_us: 0.0,
+            duration_us: 1.0e7,
+            latency_multiplier: 6.0,
+        });
+        plan
+    };
+    let cfg = SimConfig::new(DesignPoint::Tdimm, 4, BatchPolicy::new(8, 150.0))
+        .with_retry(retry)
+        .with_admission(AdmissionPolicy::bounded(8))
+        .with_faults(gray);
+    let arrivals = ArrivalProcess::Bursty {
+        rate_qps: 450_000.0,
+        mean_burst: 16.0,
+    }
+    .sample_arrivals_us(400, 7);
+    let r = simulate(&model, &w, &cfg, &arrivals).expect("valid inputs");
+    assert!(
+        r.outcomes.shed > 0,
+        "the bounded queue must shed: {:?}",
+        r.outcomes
+    );
+    assert!(
+        r.records.iter().any(|rec| rec.retries > 0),
+        "backoff retries must fire"
+    );
+    assert!(r.hedge_dispatches > 0, "hedged duplicates must dispatch");
+    assert!(r.is_conserved());
+    assert!(r.outcomes.is_conserved(r.arrived));
+    assert_eq!(r.outcomes.completed, r.completed);
+    let by = |want: RequestOutcome| {
+        r.records
+            .iter()
+            .filter(|rec| rec.outcome == Some(want))
+            .count()
+    };
+    assert_eq!(by(RequestOutcome::Completed), r.outcomes.completed);
+    assert_eq!(by(RequestOutcome::Shed), r.outcomes.shed);
+    assert_eq!(by(RequestOutcome::TimedOut), r.outcomes.timed_out);
 }
